@@ -1,0 +1,40 @@
+// E9 -- Corollary 4.7: on graphs with a <= Delta^(1-nu), a (Delta+1)- (in
+// fact o(Delta)-) coloring in O(log a log n) rounds.
+//
+// Paper prediction: colors stay well below Delta+1 (colors/Delta -> 0 as
+// Delta grows with a fixed) and rounds do not grow with Delta -- only with
+// log n -- in stark contrast to the O(Delta + log* n) algorithms whose
+// round count is linear in Delta.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/legal_coloring.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace dvc;
+  std::cout << "E9 (Cor 4.7): (Delta+1)-coloring when arboricity << Delta\n\n";
+  Table table({"n", "a", "Delta", "colors", "colors/Delta", "<=Delta+1",
+               "rounds", "Delta-linear ref"});
+  const V n = 1 << 14;
+  for (const int a : {3, 4, 6}) {
+    for (const int hub : {64, 128, 256, 512}) {
+      const Graph g = low_arboricity_high_degree(n, a, hub, 31);
+      const int delta = g.max_degree();
+      const LegalColoringResult res = delta_plus_one_low_arb(g, a);
+      table.row(n, a, delta, res.distinct,
+                static_cast<double>(res.distinct) / delta,
+                res.distinct <= delta + 1 ? "yes" : "NO", res.total.rounds,
+                delta);  // what an O(Delta + log* n) algorithm would pay
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: colors/Delta shrinks as Delta grows (o(Delta) "
+               "colors); rounds are flat in Delta while the classical "
+               "O(Delta+log* n) reference grows linearly -- Corollary 4.7's "
+               "polylog (Delta+1)-coloring for the a <= Delta^(1-nu) "
+               "family.\n";
+  return 0;
+}

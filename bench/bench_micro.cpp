@@ -1,0 +1,93 @@
+// E12 -- google-benchmark micro-costs of the substrate: simulator round
+// overhead, polynomial-family evaluation, witness construction, and the
+// exact-arboricity certifier. These wall-clock numbers bound how large a
+// LOCAL-model experiment the harness can simulate per second (the paper's
+// own metric is rounds, which bench_* report).
+#include <benchmark/benchmark.h>
+
+#include "core/legal_coloring.hpp"
+#include "decomp/h_partition.hpp"
+#include "fields/poly_family.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace dvc;
+
+class FloodAll : public sim::VertexProgram {
+ public:
+  std::string name() const override { return "flood"; }
+  void begin(sim::Ctx& ctx) override { ctx.broadcast({1}); }
+  void step(sim::Ctx& ctx, const sim::Inbox&) override {
+    if (ctx.round() >= 8) ctx.halt();
+    else ctx.broadcast({1});
+  }
+};
+
+void BM_EngineBroadcastRounds(benchmark::State& state) {
+  const V n = static_cast<V>(state.range(0));
+  const Graph g = planted_arboricity(n, 4, 1);
+  for (auto _ : state) {
+    FloodAll prog;
+    sim::Engine engine(g);
+    benchmark::DoNotOptimize(engine.run(prog, 16));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 2 * g.num_edges());
+}
+BENCHMARK(BM_EngineBroadcastRounds)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+void BM_PolyEval(benchmark::State& state) {
+  const std::int64_t q = 61;
+  std::int64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly_eval(x % (q * q), q, 3, x % q));
+    ++x;
+  }
+}
+BENCHMARK(BM_PolyEval);
+
+void BM_ChooseField(benchmark::State& state) {
+  std::int64_t M = 1 << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(choose_field(M, 64, 4));
+  }
+}
+BENCHMARK(BM_ChooseField);
+
+void BM_HPartition(benchmark::State& state) {
+  const V n = static_cast<V>(state.range(0));
+  const Graph g = planted_arboricity(n, 8, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h_partition(g, 8));
+  }
+}
+BENCHMARK(BM_HPartition)->Arg(1 << 12)->Arg(1 << 15);
+
+void BM_LegalColoringEndToEnd(benchmark::State& state) {
+  const V n = static_cast<V>(state.range(0));
+  const Graph g = planted_arboricity(n, 8, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(legal_coloring(g, 8, 4));
+  }
+}
+BENCHMARK(BM_LegalColoringEndToEnd)->Arg(1 << 10)->Arg(1 << 13);
+
+void BM_Degeneracy(benchmark::State& state) {
+  const Graph g = planted_arboricity(1 << 15, 8, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(degeneracy(g));
+  }
+}
+BENCHMARK(BM_Degeneracy);
+
+void BM_Pseudoarboricity(benchmark::State& state) {
+  const Graph g = planted_arboricity(1 << 10, 6, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pseudoarboricity(g));
+  }
+}
+BENCHMARK(BM_Pseudoarboricity);
+
+}  // namespace

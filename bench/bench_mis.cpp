@@ -1,0 +1,51 @@
+// E10 -- Section 1.2: deterministic MIS in O(a + a^eps log n) rounds vs
+// Luby's randomized O(log n).
+//
+// Paper prediction: the deterministic pipeline's rounds decompose into a
+// coloring part (polylog for fixed a) plus a sweep of O(a) color classes;
+// Luby remains Theta(log n) but is randomized. The deterministic rounds
+// scale with log n at fixed a (flat rounds/log2(n) column) -- the first
+// deterministic MIS in this regime below 2^O(sqrt(log n)).
+#include <cmath>
+#include <iostream>
+
+#include "baselines/luby.hpp"
+#include "common/table.hpp"
+#include "core/mis.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace dvc;
+  std::cout << "E10 (Sec 1.2): deterministic MIS vs Luby\n\n";
+  Table table({"n", "a", "algorithm", "|MIS|", "rounds", "rounds/log2(n)",
+               "maximal"});
+  for (const int a : {2, 4, 8}) {
+    for (const V n : {1 << 12, 1 << 14, 1 << 16}) {
+      const Graph g = planted_arboricity(n, a, 100 + a);
+      const double logn = std::log2(static_cast<double>(n));
+      auto size_of = [](const std::vector<std::uint8_t>& s) {
+        std::int64_t size = 0;
+        for (const auto b : s) size += b;
+        return size;
+      };
+      {
+        const MisResult res = deterministic_mis(g, a);
+        table.row(n, a, "BE10 deterministic", size_of(res.in_mis),
+                  res.total.rounds, res.total.rounds / logn,
+                  is_maximal_independent_set(g, res.in_mis) ? "yes" : "NO");
+      }
+      {
+        const MisResult res = luby_mis(g, 999);
+        table.row(n, a, "Luby randomized", size_of(res.in_mis),
+                  res.total.rounds, res.total.rounds / logn,
+                  is_maximal_independent_set(g, res.in_mis) ? "yes" : "NO");
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: both are maximal; deterministic rounds/log2(n) "
+               "is flat in n for fixed a (the O(a + a^eps log n) claim); "
+               "Luby is faster but randomized -- determinism is the paper's "
+               "contribution.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// E13 (ablation) -- the paper's Section 1.4 parallelism argument: unlike the
+// decomposition-based algorithms of [3, 21, 25], which keep only the
+// vertices of one region color active per phase, the BE10 recursion runs in
+// parallel on all subgraphs, so "all vertices are active at (almost) all
+// times". This bench profiles the fraction of non-halted vertices per
+// simulated round across the whole Legal-Coloring pipeline.
+//
+// Prediction: mean active fraction stays high (most rounds involve most
+// vertices); the only low-activity tail comes from the final greedy wave
+// whose length the orientation machinery explicitly bounds.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/legal_coloring.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace dvc;
+  std::cout << "E13 (ablation, Sec 1.4): vertex activity profile of "
+               "Legal-Coloring\n\n";
+  Table table({"n", "a", "p", "rounds", "mean active %", "median active %",
+               "rounds >=50% active", "rounds >=90% active"});
+  for (const int a : {8, 16}) {
+    for (const V n : {1 << 12, 1 << 14}) {
+      const Graph g = planted_arboricity(n, a, 77);
+      for (const int p : {4, 8}) {
+        const LegalColoringResult res = legal_coloring(g, a, p);
+        const auto& act = res.total.active_per_round;
+        if (act.empty()) continue;
+        double sum = 0;
+        int ge50 = 0, ge90 = 0;
+        std::vector<double> fracs;
+        fracs.reserve(act.size());
+        for (const auto live : act) {
+          const double f = static_cast<double>(live) / n;
+          fracs.push_back(f);
+          sum += f;
+          ge50 += f >= 0.5;
+          ge90 += f >= 0.9;
+        }
+        std::nth_element(fracs.begin(), fracs.begin() + fracs.size() / 2,
+                         fracs.end());
+        table.row(n, a, p, static_cast<int>(act.size()),
+                  100.0 * sum / static_cast<double>(act.size()),
+                  100.0 * fracs[fracs.size() / 2],
+                  ge50, ge90);
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: the pipeline keeps a large fraction of the "
+               "network busy in most rounds -- the parallelism that buys the "
+               "polylog running time (contrast with region-coloring schemes "
+               "where a 1/chi fraction of regions is active per phase).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Command-line coloring tool for DIMACS instances: read a graph, certify an
+// arboricity bound, color it with a chosen preset, and emit the coloring in
+// the standard "v <id> <color>" format.
+//
+//   ./example_dimacs_color --input=graph.col [--preset=near-linear]
+//                          [--a=0 (0: certify automatically)]
+//                          [--output=coloring.txt]
+//
+// With no --input, a demo instance is generated and colored.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "common/cli.hpp"
+#include "core/api.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dvc;
+  const Cli cli(argc, argv);
+
+  Graph g;
+  const std::string input = cli.get_string("input", "");
+  if (input.empty()) {
+    std::cout << "No --input given; generating a demo instance "
+                 "(planted arboricity 6, n=4096).\n";
+    g = planted_arboricity(4096, 6, 99);
+  } else {
+    std::ifstream in(input);
+    if (!in) {
+      std::cerr << "cannot open " << input << "\n";
+      return 1;
+    }
+    g = input.size() > 4 && input.substr(input.size() - 4) == ".col"
+            ? read_dimacs(in)
+            : read_edge_list(in);
+  }
+
+  int a = static_cast<int>(cli.get_int("a", 0));
+  if (a <= 0) {
+    const auto [lo, hi] = arboricity_bounds(g);
+    a = std::max(1, hi);
+    std::cout << "Certified arboricity bound: " << a << " (interval [" << lo
+              << ", " << hi << "])\n";
+  }
+
+  const std::string preset_arg = cli.get_string("preset", "near-linear");
+  Preset preset = Preset::NearLinearColors;
+  if (preset_arg == "linear") preset = Preset::LinearColors;
+  else if (preset_arg == "polylog") preset = Preset::PolylogTime;
+  else if (preset_arg == "tradeoff") preset = Preset::TradeoffAT;
+  else if (preset_arg == "delta") preset = Preset::DeltaPlusOneLowArb;
+
+  const LegalColoringResult res = color_graph(g, a, preset);
+  std::cout << preset_name(preset) << ": " << res.distinct << " colors in "
+            << res.total.rounds << " simulated LOCAL rounds ("
+            << res.total.messages << " messages); legal="
+            << (is_legal_coloring(g, res.colors) ? "yes" : "NO") << "\n";
+
+  const std::string output = cli.get_string("output", "");
+  if (!output.empty()) {
+    std::ofstream out(output);
+    write_coloring(out, res.colors);
+    std::cout << "Coloring written to " << output << "\n";
+  }
+  return 0;
+}

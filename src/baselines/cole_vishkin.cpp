@@ -1,0 +1,103 @@
+#include "baselines/cole_vishkin.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace dvc {
+namespace {
+
+// Iterations until the color space collapses to 6 values: colors start as
+// ids (< 2^B), and one step maps a color space of b bits to one of
+// ceil(log2(b)) + 1 bits; 3 bits (values 0..5 after the final step) is the
+// fixed point.
+int cv_iterations(V n) {
+  int bits = ilog2_ceil(static_cast<std::uint64_t>(std::max<V>(n, 2))) + 1;
+  int iters = 0;
+  while (bits > 3) {
+    bits = ilog2_ceil(static_cast<std::uint64_t>(bits)) + 1;
+    ++iters;
+  }
+  return iters + 2;  // two extra stabilization steps at 3 bits (values < 6)
+}
+
+class ColeVishkinProgram : public sim::VertexProgram {
+ public:
+  ColeVishkinProgram(const Graph& g)
+      : g_(&g),
+        n_(g.num_vertices()),
+        cv_rounds_(cv_iterations(g.num_vertices())),
+        colors_(static_cast<std::size_t>(g.num_vertices())),
+        nb_colors_(static_cast<std::size_t>(g.num_slots()), -1) {
+    for (V v = 0; v < n_; ++v) colors_[static_cast<std::size_t>(v)] = v;
+  }
+
+  std::string name() const override { return "cole-vishkin"; }
+
+  void begin(sim::Ctx& ctx) override {
+    ctx.broadcast({colors_[static_cast<std::size_t>(ctx.vertex())]});
+  }
+
+  void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
+    const V v = ctx.vertex();
+    for (const sim::MsgView& msg : inbox) {
+      nb_colors_[static_cast<std::size_t>(g_->slot(v, msg.port))] = msg.data[0];
+    }
+    if (ctx.round() <= cv_rounds_) {
+      // Deterministic coin tossing against the successor's color.
+      const V succ = (v + 1) % n_;
+      const int sp = g_->port_of(v, succ);
+      DVC_ENSURE(sp >= 0, "ring successor must be adjacent");
+      const std::int64_t mine = colors_[static_cast<std::size_t>(v)];
+      const std::int64_t theirs = nb_colors_[static_cast<std::size_t>(g_->slot(v, sp))];
+      DVC_ENSURE(theirs >= 0 && theirs != mine, "ring coloring degenerated");
+      const int i = std::countr_zero(static_cast<std::uint64_t>(mine ^ theirs));
+      colors_[static_cast<std::size_t>(v)] = 2 * i + ((mine >> i) & 1);
+      ctx.broadcast({colors_[static_cast<std::size_t>(v)]});
+      return;
+    }
+    // Reduction rounds: colors are now < 6; rounds handle classes 5, 4, 3.
+    const std::int64_t handled = 5 - (ctx.round() - cv_rounds_ - 1);
+    if (colors_[static_cast<std::size_t>(v)] == handled) {
+      // Pick the smallest color in {0,1,2} unused by the two neighbors.
+      bool used[3] = {false, false, false};
+      const int deg = g_->degree(v);
+      for (int p = 0; p < deg; ++p) {
+        const std::int64_t c = nb_colors_[static_cast<std::size_t>(g_->slot(v, p))];
+        if (c >= 0 && c < 3) used[static_cast<std::size_t>(c)] = true;
+      }
+      std::int64_t pick = 0;
+      while (used[static_cast<std::size_t>(pick)]) ++pick;
+      DVC_ENSURE(pick < 3, "a ring vertex has only two neighbors");
+      colors_[static_cast<std::size_t>(v)] = pick;
+    }
+    ctx.broadcast({colors_[static_cast<std::size_t>(v)]});
+    if (handled == 3) ctx.halt();
+  }
+
+  Coloring take_colors() { return std::move(colors_); }
+
+ private:
+  const Graph* g_;
+  V n_;
+  int cv_rounds_;
+  Coloring colors_;
+  std::vector<std::int64_t> nb_colors_;
+};
+
+}  // namespace
+
+RingColoringResult cole_vishkin_ring(const Graph& ring) {
+  DVC_REQUIRE(ring.num_vertices() >= 3 && ring.max_degree() == 2 &&
+                  ring.num_edges() == ring.num_vertices(),
+              "cole_vishkin_ring expects cycle_graph(n)");
+  ColeVishkinProgram program(ring);
+  sim::Engine engine(ring);
+  RingColoringResult out;
+  out.stats = engine.run(program, cv_iterations(ring.num_vertices()) + 8);
+  out.colors = program.take_colors();
+  return out;
+}
+
+}  // namespace dvc

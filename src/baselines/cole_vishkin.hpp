@@ -1,0 +1,23 @@
+// Cole-Vishkin deterministic coin tossing [8]: 3-coloring of an oriented
+// ring in log* n + O(1) rounds. The classic deterministic symmetry-breaking
+// baseline that predates Linial's lower bound framework.
+//
+// Expects the ring produced by cycle_graph(n): vertex v's successor is
+// (v+1) mod n, so the orientation is known locally from ids (the "oriented
+// ring" assumption of [8], footnote 1 of the paper's Section 1.4).
+#pragma once
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+
+namespace dvc {
+
+struct RingColoringResult {
+  Coloring colors;  // values in {0, 1, 2}
+  sim::RunStats stats;
+};
+
+RingColoringResult cole_vishkin_ring(const Graph& ring);
+
+}  // namespace dvc

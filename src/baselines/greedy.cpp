@@ -1,0 +1,41 @@
+#include "baselines/greedy.hpp"
+
+#include <algorithm>
+
+#include "graph/arboricity.hpp"
+
+namespace dvc {
+
+GreedyResult greedy_coloring(const Graph& g, GreedyOrder order) {
+  const V n = g.num_vertices();
+  std::vector<V> sequence;
+  if (order == GreedyOrder::ByDegeneracy) {
+    degeneracy(g, &sequence);
+    std::reverse(sequence.begin(), sequence.end());
+  } else {
+    sequence.resize(static_cast<std::size_t>(n));
+    for (V v = 0; v < n; ++v) sequence[static_cast<std::size_t>(v)] = v;
+  }
+  GreedyResult out;
+  out.colors.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::int64_t> taken;
+  for (const V v : sequence) {
+    taken.clear();
+    for (const V u : g.neighbors(v)) {
+      if (out.colors[static_cast<std::size_t>(u)] >= 0) {
+        taken.push_back(out.colors[static_cast<std::size_t>(u)]);
+      }
+    }
+    std::sort(taken.begin(), taken.end());
+    std::int64_t pick = 0;
+    for (const std::int64_t c : taken) {
+      if (c == pick) ++pick;
+      if (c > pick) break;
+    }
+    out.colors[static_cast<std::size_t>(v)] = pick;
+    out.colors_used = std::max<int>(out.colors_used, static_cast<int>(pick) + 1);
+  }
+  return out;
+}
+
+}  // namespace dvc

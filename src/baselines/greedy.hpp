@@ -1,0 +1,23 @@
+// Centralized sequential greedy coloring -- not a distributed algorithm;
+// used purely as a color-count reference line in the benchmarks (it gives
+// <= degeneracy+1 colors when fed the degeneracy elimination order).
+#pragma once
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+
+namespace dvc {
+
+enum class GreedyOrder {
+  ById,
+  ByDegeneracy,  // reverse elimination order; uses <= degeneracy+1 colors
+};
+
+struct GreedyResult {
+  Coloring colors;
+  int colors_used = 0;
+};
+
+GreedyResult greedy_coloring(const Graph& g, GreedyOrder order);
+
+}  // namespace dvc

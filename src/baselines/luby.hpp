@@ -1,0 +1,16 @@
+// Luby's randomized MIS [22] (also Alon-Babai-Itai [1]): the randomized
+// O(log n)-round baseline the paper's deterministic results are measured
+// against. Each phase: active vertices draw random priorities; local maxima
+// join the MIS; their neighbors withdraw. Two rounds per phase.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mis.hpp"
+#include "graph/graph.hpp"
+
+namespace dvc {
+
+MisResult luby_mis(const Graph& g, std::uint64_t seed);
+
+}  // namespace dvc

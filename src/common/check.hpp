@@ -1,0 +1,58 @@
+// Checked-invariant macros for the dvc library.
+//
+// DVC_REQUIRE  -- precondition on caller-supplied arguments; always on.
+// DVC_ENSURE   -- internal invariant / postcondition; always on.
+//
+// Both throw std::logic_error subclasses so that misuse is diagnosable in
+// tests and never silently corrupts a simulation.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dvc {
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a library bug or an input that
+/// violates an algorithm's structural assumption, e.g. an arboricity bound
+/// that is smaller than the true arboricity).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw precondition_error(os.str());
+}
+
+[[noreturn]] inline void fail_ensure(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw invariant_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dvc
+
+#define DVC_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::dvc::detail::fail_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define DVC_ENSURE(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) ::dvc::detail::fail_ensure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,23 @@
+// Tiny --key=value flag parser for examples and benchmark binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dvc {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dvc

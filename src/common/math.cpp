@@ -1,0 +1,105 @@
+#include "common/math.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace dvc {
+
+int ilog2_floor(std::uint64_t x) {
+  DVC_REQUIRE(x >= 1, "ilog2_floor needs x >= 1");
+  return 63 - std::countl_zero(x);
+}
+
+int ilog2_ceil(std::uint64_t x) {
+  DVC_REQUIRE(x >= 1, "ilog2_ceil needs x >= 1");
+  const int fl = ilog2_floor(x);
+  return (std::uint64_t{1} << fl) == x ? fl : fl + 1;
+}
+
+std::int64_t iceil_div(std::int64_t a, std::int64_t b) {
+  DVC_REQUIRE(a >= 0 && b > 0, "iceil_div needs a >= 0, b > 0");
+  return (a + b - 1) / b;
+}
+
+int log_star(std::uint64_t n) {
+  int iterations = 0;
+  while (n > 2) {
+    n = static_cast<std::uint64_t>(ilog2_ceil(n));
+    ++iterations;
+  }
+  return iterations;
+}
+
+bool is_prime(std::uint64_t n) {
+  if (n < 2) return false;
+  if (n < 4) return true;
+  if (n % 2 == 0 || n % 3 == 0) return false;
+  for (std::uint64_t f = 5; f * f <= n; f += 6) {
+    if (n % f == 0 || n % (f + 2) == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime_at_least(std::uint64_t n) {
+  if (n <= 2) return 2;
+  std::uint64_t candidate = n | 1;  // first odd >= n
+  while (!is_prime(candidate)) candidate += 2;
+  return candidate;
+}
+
+std::uint64_t next_prime_above(std::uint64_t n) { return next_prime_at_least(n + 1); }
+
+std::uint64_t iroot_floor(std::uint64_t x, int k) {
+  DVC_REQUIRE(k >= 1, "iroot_floor needs k >= 1");
+  if (k == 1 || x < 2) return x;
+  // Newton-free: binary search on r with r^k <= x, saturating multiply.
+  std::uint64_t lo = 1, hi = x;
+  // Narrow hi: 2^(64/k) is a safe upper bound.
+  const int bits = 64 / k + 1;
+  if (bits < 63) hi = (std::uint64_t{1} << bits);
+  auto pow_le = [&](std::uint64_t r) {
+    std::uint64_t acc = 1;
+    for (int i = 0; i < k; ++i) {
+      if (r != 0 && acc > x / r) return false;  // acc * r > x
+      acc *= r;
+    }
+    return acc <= x;
+  };
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (pow_le(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t iroot_ceil(std::uint64_t x, int k) {
+  const std::uint64_t fl = iroot_floor(x, k);
+  std::uint64_t acc = 1;
+  bool overflow = false;
+  for (int i = 0; i < k; ++i) {
+    if (fl != 0 && acc > x / fl) {
+      overflow = true;
+      break;
+    }
+    acc *= fl;
+  }
+  return (!overflow && acc == x) ? fl : fl + 1;
+}
+
+std::uint64_t ipow_saturating(std::uint64_t base, int exp, std::uint64_t cap) {
+  DVC_REQUIRE(exp >= 0, "ipow_saturating needs exp >= 0");
+  std::uint64_t acc = 1;
+  for (int i = 0; i < exp; ++i) {
+    if (base != 0 && acc > cap / base) return cap;
+    acc *= base;
+    if (acc >= cap) return cap;
+  }
+  return acc;
+}
+
+}  // namespace dvc

@@ -1,0 +1,43 @@
+// Integer math helpers shared across the library: logarithms, iterated
+// logarithm (log*), primes, integer roots and checked powers. Everything is
+// exact integer arithmetic; no floating point creeps into algorithm
+// parameter selection.
+#pragma once
+
+#include <cstdint>
+
+namespace dvc {
+
+/// floor(log2(x)) for x >= 1.
+int ilog2_floor(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1.
+int ilog2_ceil(std::uint64_t x);
+
+/// ceil(a / b) for a >= 0, b > 0.
+std::int64_t iceil_div(std::int64_t a, std::int64_t b);
+
+/// log* n: the number of times log2 must be iterated before the value drops
+/// to <= 2. log_star(1) = log_star(2) = 0, log_star(4) = 1, ...
+int log_star(std::uint64_t n);
+
+/// Deterministic primality test for 64-bit values (trial division; the
+/// library only ever tests values up to ~10^7).
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n (n >= 0).
+std::uint64_t next_prime_at_least(std::uint64_t n);
+
+/// Smallest prime > n.
+std::uint64_t next_prime_above(std::uint64_t n);
+
+/// floor(x^(1/k)) for x >= 0, k >= 1.
+std::uint64_t iroot_floor(std::uint64_t x, int k);
+
+/// ceil(x^(1/k)) for x >= 0, k >= 1.
+std::uint64_t iroot_ceil(std::uint64_t x, int k);
+
+/// base^exp, saturating at `cap` (returns cap if the true value >= cap).
+std::uint64_t ipow_saturating(std::uint64_t base, int exp, std::uint64_t cap);
+
+}  // namespace dvc

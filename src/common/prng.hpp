@@ -1,0 +1,81 @@
+// Deterministic pseudo-random generators used by graph generators and the
+// randomized baselines. We ship our own so that every seed reproduces the
+// same graph / run on every platform (std::mt19937 distributions are not
+// portable across standard libraries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dvc {
+
+/// SplitMix64; used to seed Xoshiro and as a cheap stateless mixer.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference design).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::uint64_t uniform(std::uint64_t bound) {
+    DVC_REQUIRE(bound > 0, "uniform bound must be positive");
+    // Rejection sampling for exact uniformity.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t draw = next_u64();
+    while (draw >= limit) draw = next_u64();
+    return draw % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi) {
+    DVC_REQUIRE(lo <= hi, "uniform_in range is empty");
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_real() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dvc

@@ -1,0 +1,43 @@
+// Minimal aligned ASCII table printer used by the benchmark harnesses and
+// examples so every experiment emits the same machine-greppable format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dvc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with operator<< semantics.
+  template <typename... Ts>
+  Table& row(const Ts&... cells) {
+    return add_row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string format_cell(const std::string& s) { return s; }
+  static std::string format_cell(const char* s) { return s; }
+  static std::string format_cell(double v);
+  static std::string format_cell(std::int64_t v);
+  static std::string format_cell(std::uint64_t v);
+  static std::string format_cell(int v) { return format_cell(std::int64_t{v}); }
+  static std::string format_cell(unsigned v) {
+    return format_cell(std::uint64_t{v});
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dvc

@@ -1,0 +1,57 @@
+#include "core/api.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "core/arb_kuhn.hpp"
+
+namespace dvc {
+
+std::string preset_name(Preset p) {
+  switch (p) {
+    case Preset::LinearColors: return "linear-colors(Thm4.3)";
+    case Preset::NearLinearColors: return "near-linear-colors(Cor4.6)";
+    case Preset::PolylogTime: return "polylog-time(Thm4.5)";
+    case Preset::FastSubquadratic: return "fast-subquadratic(Thm5.2)";
+    case Preset::TradeoffAT: return "tradeoff-a-t(Thm5.3)";
+    case Preset::DeltaPlusOneLowArb: return "delta-plus-one(Cor4.7)";
+  }
+  return "unknown";
+}
+
+LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset preset,
+                                const Knobs& knobs) {
+  DVC_REQUIRE(arboricity_bound >= 1, "arboricity bound must be >= 1");
+  switch (preset) {
+    case Preset::LinearColors:
+      return legal_coloring_linear(g, arboricity_bound, knobs.mu, knobs.eps);
+    case Preset::NearLinearColors:
+      return legal_coloring_near_linear(g, arboricity_bound, knobs.eta, knobs.eps);
+    case Preset::PolylogTime: {
+      const int f = std::max<int>(
+          16, ilog2_ceil(static_cast<std::uint64_t>(std::max(2, arboricity_bound))));
+      return legal_coloring_slow_fn(g, arboricity_bound, f, knobs.eps);
+    }
+    case Preset::FastSubquadratic: {
+      const int f = knobs.f > 0
+                        ? knobs.f
+                        : std::max(1, static_cast<int>(std::sqrt(
+                                          static_cast<double>(arboricity_bound))));
+      return fast_subquadratic_coloring(g, arboricity_bound, f, knobs.eta, knobs.eps);
+    }
+    case Preset::TradeoffAT:
+      return tradeoff_coloring(g, arboricity_bound, knobs.t, knobs.mu, knobs.eps);
+    case Preset::DeltaPlusOneLowArb:
+      return delta_plus_one_low_arb(g, arboricity_bound, knobs.eta, knobs.eps);
+  }
+  DVC_REQUIRE(false, "unknown preset");
+  return {};
+}
+
+MisResult mis_graph(const Graph& g, int arboricity_bound, const Knobs& knobs) {
+  return deterministic_mis(g, arboricity_bound, knobs.mu, knobs.eps);
+}
+
+}  // namespace dvc

@@ -1,0 +1,51 @@
+// One-call facade over the library: pick a preset, get a legal coloring (or
+// an MIS) plus the simulated LOCAL-model cost. This is the API the examples
+// and the comparison benchmark drive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/legal_coloring.hpp"
+#include "core/mis.hpp"
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "sim/engine.hpp"
+
+namespace dvc {
+
+enum class Preset {
+  /// Theorem 4.3: O(a) colors in O(a^mu log n) rounds (mu = knobs.mu).
+  LinearColors,
+  /// Corollary 4.6: O(a^(1+eta)) colors in O(log a log n) rounds.
+  NearLinearColors,
+  /// Theorem 4.5 with f(a) = max(16, log2(a)): a^(1+o(1)) colors in
+  /// polylogarithmic rounds -- the paper's headline regime.
+  PolylogTime,
+  /// Theorem 5.2: O(a^2/g(a)) colors in O(log g(a) log n) rounds.
+  FastSubquadratic,
+  /// Theorem 5.3: O(a*t) colors in O((a/t)^mu log n) rounds (t = knobs.t).
+  TradeoffAT,
+  /// Corollary 4.7: (Delta+1) colors for a <= Delta^(1-nu).
+  DeltaPlusOneLowArb,
+};
+
+struct Knobs {
+  double mu = 0.5;   // LinearColors / TradeoffAT exponent
+  double eta = 0.5;  // NearLinearColors / DeltaPlusOneLowArb exponent
+  int t = 2;         // TradeoffAT
+  int f = 0;         // FastSubquadratic class arboricity (0: ~sqrt(a))
+  double eps = 0.25; // H-partition slack
+};
+
+std::string preset_name(Preset p);
+
+/// Runs the preset; `arboricity_bound` must be >= the arboricity of g.
+LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset preset,
+                                const Knobs& knobs = Knobs{});
+
+/// Deterministic MIS (Section 1.2): Theorem 4.3 coloring + color sweep.
+MisResult mis_graph(const Graph& g, int arboricity_bound,
+                    const Knobs& knobs = Knobs{});
+
+}  // namespace dvc

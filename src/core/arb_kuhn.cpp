@@ -1,0 +1,71 @@
+#include "core/arb_kuhn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace dvc {
+
+ArbKuhnResult arb_kuhn_arbdefective(const Graph& g, int arboricity_bound,
+                                    int arbdefect_budget, double eps,
+                                    const std::vector<std::int64_t>* groups) {
+  DVC_REQUIRE(arboricity_bound >= 1 && arbdefect_budget >= 0,
+              "bad Arb-Kuhn parameters");
+  ArbKuhnResult out{Coloring{},
+                    0,
+                    arbdefect_budget,
+                    orient_by_ids(g, arboricity_bound, eps, groups),
+                    {},
+                    sim::RunStats{}};
+  out.total += out.orientation.total;
+  // Iterated Procedure Arb-Recolor: out-degree is bounded by the H-partition
+  // threshold A = floor((2+eps)a).
+  DefectiveResult recolor = arb_recolor_iterated(
+      g, out.orientation.sigma, out.orientation.hp.threshold, arbdefect_budget,
+      groups);
+  out.total += recolor.stats;
+  out.colors = std::move(recolor.colors);
+  out.palette = recolor.palette;
+  out.schedule = std::move(recolor.schedule);
+  return out;
+}
+
+LegalColoringResult fast_subquadratic_coloring(const Graph& g, int arboricity_bound,
+                                               int class_arboricity, double eta,
+                                               double eps) {
+  DVC_REQUIRE(class_arboricity >= 1, "class arboricity must be >= 1");
+  ArbKuhnResult decomp =
+      arb_kuhn_arbdefective(g, arboricity_bound, class_arboricity, eps);
+  // Run Legal-Coloring in parallel on all O((a/d)^2) classes with distinct
+  // palettes; each class has arboricity <= class_arboricity.
+  const int exponent = std::min(16, static_cast<int>(iceil_div(
+                                        4, std::max<std::int64_t>(
+                                               1, static_cast<std::int64_t>(2.0 * eta)))));
+  const int p = std::max(4, 1 << exponent);
+  LegalColoringResult out =
+      legal_coloring(g, class_arboricity, p, eps, &decomp.colors,
+                     /*initial_alpha=*/class_arboricity);
+  out.phases.insert(out.phases.begin(),
+                    {"arb-kuhn-decomposition", decomp.total});
+  out.total += decomp.total;
+  return out;
+}
+
+LegalColoringResult tradeoff_coloring(const Graph& g, int arboricity_bound, int t,
+                                      double mu, double eps) {
+  DVC_REQUIRE(t >= 1 && t <= std::max(1, arboricity_bound), "t must be in [1, a]");
+  const int d = std::max<int>(1, static_cast<int>(iceil_div(arboricity_bound, t)));
+  ArbKuhnResult decomp = arb_kuhn_arbdefective(g, arboricity_bound, d, eps);
+  const int p = std::max(
+      4, static_cast<int>(std::ceil(std::pow(static_cast<double>(d), mu / 2.0))));
+  LegalColoringResult out = legal_coloring(g, d, p, eps, &decomp.colors,
+                                           /*initial_alpha=*/d);
+  out.phases.insert(out.phases.begin(),
+                    {"arb-kuhn-decomposition", decomp.total});
+  out.total += decomp.total;
+  return out;
+}
+
+}  // namespace dvc

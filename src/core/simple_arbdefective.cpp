@@ -1,0 +1,96 @@
+#include "core/simple_arbdefective.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dvc {
+namespace {
+
+class SimpleArbProgram : public sim::VertexProgram {
+ public:
+  SimpleArbProgram(const Graph& g, const Orientation& sigma, int k,
+                   const std::vector<std::int64_t>* groups)
+      : g_(&g),
+        sigma_(&sigma),
+        k_(k),
+        groups_(groups),
+        colors_(static_cast<std::size_t>(g.num_vertices()), -1),
+        pending_(static_cast<std::size_t>(g.num_vertices()), 0),
+        histogram_(static_cast<std::size_t>(g.num_vertices())) {}
+
+  std::string name() const override { return "simple-arbdefective"; }
+
+  void begin(sim::Ctx& ctx) override {
+    // Round 0: announce group so everyone can identify same-group parents.
+    ctx.broadcast({group_of(ctx.vertex()), /*is_color=*/0, 0});
+  }
+
+  void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
+    const V v = ctx.vertex();
+    const std::int64_t mine = group_of(v);
+    if (ctx.round() == 1) {
+      int parents = 0;
+      for (const sim::MsgView& msg : inbox) {
+        if (msg.data[0] == mine && sigma_->is_out(v, msg.port)) ++parents;
+      }
+      pending_[static_cast<std::size_t>(v)] = parents;
+      histogram_[static_cast<std::size_t>(v)].assign(static_cast<std::size_t>(k_), 0);
+      if (parents == 0) select_and_finish(ctx, v, mine);
+      return;
+    }
+    for (const sim::MsgView& msg : inbox) {
+      if (msg.data[0] != mine || msg.data[1] != 1) continue;
+      if (!sigma_->is_out(v, msg.port)) continue;
+      ++histogram_[static_cast<std::size_t>(v)][static_cast<std::size_t>(msg.data[2])];
+      --pending_[static_cast<std::size_t>(v)];
+    }
+    if (pending_[static_cast<std::size_t>(v)] == 0) select_and_finish(ctx, v, mine);
+  }
+
+  Coloring take_colors() { return std::move(colors_); }
+
+ private:
+  std::int64_t group_of(V v) const {
+    return groups_ ? (*groups_)[static_cast<std::size_t>(v)] : 0;
+  }
+
+  void select_and_finish(sim::Ctx& ctx, V v, std::int64_t mine) {
+    // Color used by the fewest parents (ties: smallest color).
+    const auto& hist = histogram_[static_cast<std::size_t>(v)];
+    int best = 0;
+    for (int c = 1; c < k_; ++c) {
+      if (hist[static_cast<std::size_t>(c)] < hist[static_cast<std::size_t>(best)]) {
+        best = c;
+      }
+    }
+    colors_[static_cast<std::size_t>(v)] = best;
+    ctx.broadcast({mine, /*is_color=*/1, best});
+    ctx.halt();
+  }
+
+  const Graph* g_;
+  const Orientation* sigma_;
+  int k_;
+  const std::vector<std::int64_t>* groups_;
+  Coloring colors_;
+  std::vector<int> pending_;
+  std::vector<std::vector<int>> histogram_;
+};
+
+}  // namespace
+
+SimpleArbResult simple_arbdefective(const Graph& g, const Orientation& sigma,
+                                    int k, const std::vector<std::int64_t>* groups) {
+  DVC_REQUIRE(k >= 1, "palette size k must be >= 1");
+  SimpleArbProgram program(g, sigma, k, groups);
+  sim::Engine engine(g);
+  SimpleArbResult out;
+  // Rounds: 1 (group exchange) + length of the orientation + 1.
+  out.stats = engine.run(program, sigma.length() + 8);
+  out.colors = program.take_colors();
+  out.k = k;
+  return out;
+}
+
+}  // namespace dvc

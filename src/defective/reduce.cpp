@@ -1,0 +1,319 @@
+#include "defective/reduce.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dvc {
+namespace {
+
+std::int64_t group_at(const std::vector<std::int64_t>* groups, V v) {
+  return groups ? (*groups)[static_cast<std::size_t>(v)] : 0;
+}
+
+// Greedy along an orientation: round 1 exchanges groups so every vertex can
+// identify its same-group parents; afterwards a vertex that has heard the
+// colors of all parents picks the smallest free color and halts.
+class GreedyByOrientationProgram : public sim::VertexProgram {
+ public:
+  GreedyByOrientationProgram(const Graph& g, const Orientation& sigma,
+                             std::int64_t palette,
+                             const std::vector<std::int64_t>* groups)
+      : g_(&g),
+        sigma_(&sigma),
+        palette_(palette),
+        groups_(groups),
+        colors_(static_cast<std::size_t>(g.num_vertices()), -1),
+        pending_(static_cast<std::size_t>(g.num_vertices()), 0),
+        parent_colors_(static_cast<std::size_t>(g.num_vertices())) {}
+
+  std::string name() const override { return "greedy-by-orientation"; }
+
+  void begin(sim::Ctx& ctx) override {
+    ctx.broadcast({group_at(groups_, ctx.vertex()), /*is_color=*/0, 0});
+  }
+
+  void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
+    const V v = ctx.vertex();
+    const std::int64_t mine = group_at(groups_, v);
+    if (ctx.round() == 1) {
+      // Learn which out-ports lead to same-group parents.
+      int parents = 0;
+      for (const sim::MsgView& msg : inbox) {
+        if (msg.data[0] == mine && sigma_->is_out(v, msg.port)) ++parents;
+      }
+      pending_[static_cast<std::size_t>(v)] = parents;
+      if (parents == 0) {
+        choose_and_finish(ctx, v, mine);
+      }
+      return;
+    }
+    for (const sim::MsgView& msg : inbox) {
+      if (msg.data[0] != mine || msg.data[1] != 1) continue;
+      if (!sigma_->is_out(v, msg.port)) continue;
+      parent_colors_[static_cast<std::size_t>(v)].push_back(msg.data[2]);
+      --pending_[static_cast<std::size_t>(v)];
+    }
+    if (pending_[static_cast<std::size_t>(v)] == 0) {
+      choose_and_finish(ctx, v, mine);
+    }
+  }
+
+  Coloring take_colors() { return std::move(colors_); }
+
+ private:
+  void choose_and_finish(sim::Ctx& ctx, V v, std::int64_t mine) {
+    auto& taken = parent_colors_[static_cast<std::size_t>(v)];
+    std::sort(taken.begin(), taken.end());
+    std::int64_t pick = 0;
+    for (const std::int64_t c : taken) {
+      if (c == pick) ++pick;
+      if (c > pick) break;
+    }
+    DVC_ENSURE(pick < palette_, "palette must exceed max parent count");
+    colors_[static_cast<std::size_t>(v)] = pick;
+    ctx.broadcast({mine, /*is_color=*/1, pick});
+    ctx.halt();
+  }
+
+  const Graph* g_;
+  const Orientation* sigma_;
+  std::int64_t palette_;
+  const std::vector<std::int64_t>* groups_;
+  Coloring colors_;
+  std::vector<int> pending_;
+  std::vector<std::vector<std::int64_t>> parent_colors_;
+};
+
+// Schedule-driven recoloring shared by the naive and KW reductions: every
+// vertex tracks its same-group neighbors' current colors; in each round the
+// globally-scheduled color class recolors and announces.
+class NaiveReduceProgram : public sim::VertexProgram {
+ public:
+  NaiveReduceProgram(const Graph& g, Coloring colors, std::int64_t palette,
+                     std::int64_t target, const std::vector<std::int64_t>* groups)
+      : g_(&g),
+        colors_(std::move(colors)),
+        palette_(palette),
+        target_(target),
+        groups_(groups),
+        port_colors_(static_cast<std::size_t>(g.num_slots()), -1) {}
+
+  std::string name() const override { return "naive-reduce"; }
+
+  void begin(sim::Ctx& ctx) override {
+    const V v = ctx.vertex();
+    ctx.broadcast({group_at(groups_, v), colors_[static_cast<std::size_t>(v)]});
+  }
+
+  void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
+    const V v = ctx.vertex();
+    const std::int64_t mine = group_at(groups_, v);
+    for (const sim::MsgView& msg : inbox) {
+      if (msg.data[0] != mine) continue;
+      port_colors_[static_cast<std::size_t>(g_->slot(v, msg.port))] = msg.data[1];
+    }
+    // Round r handles original color class palette-r (classes above target,
+    // highest first).
+    const std::int64_t handled = palette_ - ctx.round();
+    const std::int64_t own = colors_[static_cast<std::size_t>(v)];
+    if (own == handled) {
+      // Pick the smallest free color below target.
+      taken_.clear();
+      const int deg = g_->degree(v);
+      for (int p = 0; p < deg; ++p) {
+        const std::int64_t c = port_colors_[static_cast<std::size_t>(g_->slot(v, p))];
+        if (c >= 0) taken_.push_back(c);
+      }
+      std::sort(taken_.begin(), taken_.end());
+      std::int64_t pick = 0;
+      for (const std::int64_t c : taken_) {
+        if (c == pick) ++pick;
+        if (c > pick) break;
+      }
+      DVC_ENSURE(pick < target_, "target palette too small for degree");
+      colors_[static_cast<std::size_t>(v)] = pick;
+      ctx.broadcast({mine, pick});
+      ctx.halt();
+      return;
+    }
+    if (own > handled) {
+      // Already recolored (impossible) or will never act again.
+      ctx.halt();
+      return;
+    }
+    if (handled <= target_) {
+      ctx.halt();  // reduction finished
+    }
+  }
+
+  Coloring take_colors() { return std::move(colors_); }
+
+ private:
+  const Graph* g_;
+  Coloring colors_;
+  std::int64_t palette_;
+  std::int64_t target_;
+  const std::vector<std::int64_t>* groups_;
+  std::vector<std::int64_t> port_colors_;
+  std::vector<std::int64_t> taken_;
+};
+
+// Kuhn-Wattenhofer: phases of D+1 rounds, each phase halves the palette by
+// reducing color buckets of size 2(D+1) to D+1 in parallel.
+class KwReduceProgram : public sim::VertexProgram {
+ public:
+  KwReduceProgram(const Graph& g, Coloring colors, std::int64_t palette,
+                  int degree_bound, const std::vector<std::int64_t>* groups)
+      : g_(&g),
+        colors_(std::move(colors)),
+        groups_(groups),
+        bucket_width_(2 * (static_cast<std::int64_t>(degree_bound) + 1)),
+        half_(static_cast<std::int64_t>(degree_bound) + 1),
+        port_colors_(static_cast<std::size_t>(g.num_slots()), -1) {
+    // Precompute the global phase schedule: palettes after each phase.
+    std::int64_t m = palette;
+    palettes_.push_back(m);
+    while (m > half_) {
+      const std::int64_t buckets = (m + bucket_width_ - 1) / bucket_width_;
+      m = buckets * half_;
+      palettes_.push_back(m);
+    }
+  }
+
+  std::string name() const override { return "kw-reduce"; }
+
+  int total_rounds() const {
+    return 1 + static_cast<int>(palettes_.size() - 1) * static_cast<int>(half_);
+  }
+
+  void begin(sim::Ctx& ctx) override {
+    const V v = ctx.vertex();
+    if (palettes_.size() == 1) {  // already within D+1 colors
+      ctx.halt();
+      return;
+    }
+    ctx.broadcast({group_at(groups_, v), colors_[static_cast<std::size_t>(v)]});
+  }
+
+  void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
+    const V v = ctx.vertex();
+    const std::int64_t mine = group_at(groups_, v);
+    for (const sim::MsgView& msg : inbox) {
+      if (msg.data[0] != mine) continue;
+      port_colors_[static_cast<std::size_t>(g_->slot(v, msg.port))] = msg.data[1];
+    }
+    // Decode the phase and the in-phase position from the round number.
+    const int r = ctx.round() - 1;  // 0-based over recoloring rounds
+    const int phase = r / static_cast<int>(half_);
+    const int pos = r % static_cast<int>(half_);
+    // In this phase colors live in [0, palettes_[phase]); bucket b covers
+    // [b*W, b*W + W); local colors in [half_, W) recolor, highest first.
+    const std::int64_t handled_local = bucket_width_ - 1 - pos;
+    const std::int64_t own = colors_[static_cast<std::size_t>(v)];
+    const std::int64_t bucket = own / bucket_width_;
+    const std::int64_t local = own % bucket_width_;
+    bool recolored = false;
+    if (local == handled_local) {
+      // Recolor into [bucket*W, bucket*W + half_): smallest local color not
+      // used by same-group neighbors currently in my bucket.
+      taken_.clear();
+      const int deg = g_->degree(v);
+      for (int p = 0; p < deg; ++p) {
+        const std::int64_t c = port_colors_[static_cast<std::size_t>(g_->slot(v, p))];
+        if (c < 0 || c / bucket_width_ != bucket) continue;
+        taken_.push_back(c % bucket_width_);
+      }
+      std::sort(taken_.begin(), taken_.end());
+      std::int64_t pick = 0;
+      for (const std::int64_t c : taken_) {
+        if (c == pick) ++pick;
+        if (c > pick) break;
+      }
+      DVC_ENSURE(pick < half_, "degree bound violated in kw_reduce");
+      colors_[static_cast<std::size_t>(v)] = bucket * bucket_width_ + pick;
+      recolored = true;
+    }
+    if (pos == static_cast<int>(half_) - 1) {
+      // Phase end: renumber color = bucket*half_ + local, for self and for
+      // every stored neighbor color (all local colors are now < half_).
+      // Messages crossing the phase boundary must carry post-renumber
+      // values, so a vertex that recolored this round broadcasts only
+      // after renumbering.
+      renumber(v);
+      if (recolored) ctx.broadcast({mine, colors_[static_cast<std::size_t>(v)]});
+      if (phase + 2 == static_cast<int>(palettes_.size())) {
+        ctx.halt();
+      }
+    } else if (recolored) {
+      ctx.broadcast({mine, colors_[static_cast<std::size_t>(v)]});
+    }
+  }
+
+  Coloring take_colors() { return std::move(colors_); }
+
+ private:
+  void renumber(V v) {
+    auto renum = [&](std::int64_t c) {
+      return (c / bucket_width_) * half_ + (c % bucket_width_);
+    };
+    colors_[static_cast<std::size_t>(v)] = renum(colors_[static_cast<std::size_t>(v)]);
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      auto& c = port_colors_[static_cast<std::size_t>(g_->slot(v, p))];
+      if (c >= 0) c = renum(c);
+    }
+  }
+
+  const Graph* g_;
+  Coloring colors_;
+  const std::vector<std::int64_t>* groups_;
+  std::int64_t bucket_width_;
+  std::int64_t half_;
+  std::vector<std::int64_t> palettes_;
+  std::vector<std::int64_t> port_colors_;
+  std::vector<std::int64_t> taken_;
+};
+
+}  // namespace
+
+ReduceResult greedy_by_orientation(const Graph& g, const Orientation& sigma,
+                                   std::int64_t palette,
+                                   const std::vector<std::int64_t>* groups) {
+  DVC_REQUIRE(palette >= 1, "palette must be positive");
+  GreedyByOrientationProgram program(g, sigma, palette, groups);
+  sim::Engine engine(g);
+  ReduceResult out;
+  out.stats = engine.run(program, sigma.length() + g.num_vertices() + 4);
+  out.colors = program.take_colors();
+  out.palette = palette;
+  return out;
+}
+
+ReduceResult reduce_colors_naive(const Graph& g, const Coloring& initial,
+                                 std::int64_t initial_palette, std::int64_t target,
+                                 const std::vector<std::int64_t>* groups) {
+  DVC_REQUIRE(target >= 1 && target <= initial_palette, "bad reduce target");
+  NaiveReduceProgram program(g, initial, initial_palette, target, groups);
+  sim::Engine engine(g);
+  ReduceResult out;
+  out.stats = engine.run(program, static_cast<int>(initial_palette - target) + 4);
+  out.colors = program.take_colors();
+  out.palette = target;
+  return out;
+}
+
+ReduceResult kw_reduce(const Graph& g, const Coloring& initial,
+                       std::int64_t initial_palette, int degree_bound,
+                       const std::vector<std::int64_t>* groups) {
+  DVC_REQUIRE(degree_bound >= 0, "degree bound must be >= 0");
+  KwReduceProgram program(g, initial, initial_palette, degree_bound, groups);
+  sim::Engine engine(g);
+  ReduceResult out;
+  out.stats = engine.run(program, program.total_rounds() + 4);
+  out.colors = program.take_colors();
+  out.palette = degree_bound + 1;
+  return out;
+}
+
+}  // namespace dvc

@@ -1,0 +1,53 @@
+// Color-reduction and orientation-greedy coloring subroutines.
+//
+//  * greedy_by_orientation(): Appendix A of the paper -- given an acyclic
+//    orientation that is complete inside every group, each vertex waits for
+//    all its parents and picks the smallest palette color unused by them.
+//    Legal within groups; takes length(sigma) + 2 rounds.
+//
+//  * reduce_colors_naive(): folklore -- from a legal [M)-coloring to a legal
+//    [target)-coloring by recoloring one top color class per round
+//    (M - target rounds).
+//
+//  * kw_reduce(): Kuhn-Wattenhofer [18] parallel reduction -- pairs palette
+//    buckets of size 2(D+1) and reduces each pair to D+1 colors in parallel,
+//    halving the palette every D+1 rounds; total O(D log(M/D)) rounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+#include "graph/orientation.hpp"
+#include "sim/engine.hpp"
+
+namespace dvc {
+
+struct ReduceResult {
+  Coloring colors;
+  std::int64_t palette = 0;
+  sim::RunStats stats;
+};
+
+/// Greedy coloring along an orientation. `palette` must exceed the maximum
+/// same-group out-degree. The orientation must be acyclic and orient every
+/// same-group edge.
+ReduceResult greedy_by_orientation(const Graph& g, const Orientation& sigma,
+                                   std::int64_t palette,
+                                   const std::vector<std::int64_t>* groups = nullptr);
+
+/// One-class-per-round reduction of a legal same-group coloring in [0, M)
+/// to [0, target). Requires target > max same-group degree.
+ReduceResult reduce_colors_naive(const Graph& g, const Coloring& initial,
+                                 std::int64_t initial_palette, std::int64_t target,
+                                 const std::vector<std::int64_t>* groups = nullptr);
+
+/// Kuhn-Wattenhofer bucket reduction of a legal same-group coloring in
+/// [0, M) to [0, degree_bound + 1). degree_bound must be at least the max
+/// same-group degree.
+ReduceResult kw_reduce(const Graph& g, const Coloring& initial,
+                       std::int64_t initial_palette, int degree_bound,
+                       const std::vector<std::int64_t>* groups = nullptr);
+
+}  // namespace dvc

@@ -1,0 +1,18 @@
+#include "defective/small_degree.hpp"
+
+#include "common/check.hpp"
+#include "defective/kuhn.hpp"
+
+namespace dvc {
+
+ReduceResult legal_small_degree(const Graph& g, int degree_bound,
+                                const std::vector<std::int64_t>* groups) {
+  DVC_REQUIRE(degree_bound >= 0, "degree bound must be >= 0");
+  DefectiveResult linial = linial_coloring(g, degree_bound, groups);
+  ReduceResult out =
+      kw_reduce(g, linial.colors, linial.palette, degree_bound, groups);
+  out.stats += linial.stats;
+  return out;
+}
+
+}  // namespace dvc

@@ -1,0 +1,83 @@
+#include "fields/poly_family.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace dvc {
+
+std::int64_t poly_eval(std::int64_t x, std::int64_t q, int d, std::int64_t alpha) {
+  DVC_REQUIRE(x >= 0 && q >= 2 && alpha >= 0 && alpha < q, "bad poly_eval input");
+  // Horner over the base-q digits of x: x = c0 + c1 q + ... + cd q^d,
+  // f_x(alpha) = c0 + alpha (c1 + alpha (c2 + ...)).
+  std::int64_t digits[64];
+  int count = 0;
+  std::int64_t rest = x;
+  while (rest > 0 && count <= d) {
+    digits[count++] = rest % q;
+    rest /= q;
+  }
+  DVC_REQUIRE(rest == 0, "color does not fit in q^(d+1)");
+  std::int64_t acc = 0;
+  for (int i = count - 1; i >= 0; --i) {
+    acc = (acc * alpha + digits[i]) % q;
+  }
+  return acc;
+}
+
+FieldChoice choose_field(std::int64_t M, std::int64_t D, int beta) {
+  DVC_REQUIRE(M >= 1 && D >= 0 && beta >= 0, "bad choose_field input");
+  FieldChoice best{0, 0};
+  for (int d = 1; d <= 60; ++d) {
+    // q >= ceil(M^(1/(d+1))) ensures colors are encodable;
+    // q > d*D/(beta+1) ensures a good alpha exists (Appendix B counting).
+    const std::uint64_t enc =
+        iroot_ceil(static_cast<std::uint64_t>(M), d + 1);
+    const std::int64_t exist = static_cast<std::int64_t>(d) * D / (beta + 1) + 1;
+    const std::int64_t q = static_cast<std::int64_t>(next_prime_at_least(
+        std::max<std::uint64_t>({2, enc, static_cast<std::uint64_t>(exist)})));
+    if (best.q == 0 || q < best.q) best = FieldChoice{q, d};
+    // Larger d only helps while the encodability constraint dominates; once
+    // the existence constraint dominates, q grows with d. Stop early when
+    // the encodability root hits 2.
+    if (enc <= 2) break;
+  }
+  DVC_ENSURE(best.q >= 2, "no field choice found");
+  return best;
+}
+
+std::vector<RecolorStep> build_recolor_schedule(std::int64_t M0, std::int64_t D,
+                                                int defect_budget) {
+  DVC_REQUIRE(M0 >= 1 && D >= 0 && defect_budget >= 0, "bad schedule input");
+  std::vector<RecolorStep> schedule;
+  std::int64_t M = M0;
+  int remaining = defect_budget;
+  while (true) {
+    if (M <= 2) break;
+    // Prefer spending half the remaining budget; if that cannot shrink the
+    // palette, try the full remaining budget (the "final" iteration of
+    // Theorem 4.9's staged schedule).
+    int beta = remaining > 1 ? remaining / 2 : remaining;
+    FieldChoice fc = choose_field(M, D, beta);
+    if (fc.q * fc.q >= M) {
+      beta = remaining;
+      fc = choose_field(M, D, beta);
+      if (fc.q * fc.q >= M) break;  // converged: no further shrink possible
+    }
+    schedule.push_back(RecolorStep{M, fc.q, fc.d, beta});
+    remaining -= beta;
+    M = fc.q * fc.q;
+    DVC_ENSURE(schedule.size() <= 128, "recolor schedule failed to converge");
+  }
+  return schedule;
+}
+
+std::int64_t schedule_final_palette(const std::vector<RecolorStep>& schedule,
+                                    std::int64_t M0) {
+  if (schedule.empty()) return M0;
+  const RecolorStep& last = schedule.back();
+  return last.q * last.q;
+}
+
+}  // namespace dvc

@@ -1,0 +1,67 @@
+// Polynomial color families over prime fields -- the constructive
+// instantiation of the function families used by Linial [19,20], Kuhn [17],
+// and Section 5 / Lemma 5.1 of the paper.
+//
+// A color x in [M] is identified with the degree-<=d polynomial f_x over
+// F_q whose coefficients are the base-q digits of x (this requires
+// q^(d+1) >= M). Two distinct colors agree on at most d points -- exactly
+// the "at most k values alpha with phi_x(alpha) = phi_y(alpha)" property
+// demanded by Lemma 5.1 (with k = d).
+//
+// One recoloring iteration (Procedure Arb-Recolor / the Kuhn defective
+// step): a vertex with color x and "relevant" neighbor colors y_1..y_delta
+// (all neighbors for defective coloring; parents only for arbdefective
+// coloring) picks alpha in F_q such that
+//      |{ i : y_i != x and f_x(alpha) = f_{y_i}(alpha) }| <= beta,
+// where beta is this iteration's defect-increment budget. Such an alpha
+// exists whenever q * (beta + 1) > d * D, with D the bound on the number of
+// relevant neighbors (the counting argument in Appendix B of the paper).
+// The new color is alpha * q + f_x(alpha) in [q^2].
+//
+// build_recolor_schedule() fixes the whole iteration sequence up front from
+// (M0, D, defect budget) alone -- all quantities that are global knowledge
+// in the LOCAL model -- splitting the defect budget across iterations so
+// the palette converges to O((d*D/B)^2) colors, mirroring the staged
+// budgets of Theorem 4.9 of [17]. With B = 0 the schedule is exactly
+// Linial's O(Delta^2)-coloring; with B = floor(Delta/p) it is Lemma 2.1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dvc {
+
+/// One recoloring iteration's parameters.
+struct RecolorStep {
+  std::int64_t palette_before;  // M: colors fit in [palette_before]
+  std::int64_t q;               // field size (prime)
+  int d;                        // polynomial degree bound
+  int defect_increment;         // beta: allowed new collisions this iteration
+};
+
+/// Evaluates f_x(alpha) over F_q where f_x's coefficients are the base-q
+/// digits of x. Requires 0 <= x, 0 <= alpha < q.
+std::int64_t poly_eval(std::int64_t x, std::int64_t q, int d, std::int64_t alpha);
+
+/// Picks (q, d) minimizing the new palette q^2 subject to
+///   q^(d+1) >= M   and   q * (beta + 1) > d * D.
+/// Returns {q, d}.
+struct FieldChoice {
+  std::int64_t q;
+  int d;
+};
+FieldChoice choose_field(std::int64_t M, std::int64_t D, int beta);
+
+/// Builds the full iteration schedule for reducing an M0-coloring to the
+/// fixed-point palette with total defect <= defect_budget, where every
+/// vertex has at most D relevant neighbors. Terminates when no further
+/// palette shrink is possible. The number of steps is O(log* M0).
+std::vector<RecolorStep> build_recolor_schedule(std::int64_t M0, std::int64_t D,
+                                                int defect_budget);
+
+/// Final palette size the schedule converges to (q_last^2), or M0 when the
+/// schedule is empty.
+std::int64_t schedule_final_palette(const std::vector<RecolorStep>& schedule,
+                                    std::int64_t M0);
+
+}  // namespace dvc

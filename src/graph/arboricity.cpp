@@ -1,0 +1,123 @@
+#include "graph/arboricity.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "graph/flow.hpp"
+
+namespace dvc {
+
+int degeneracy(const Graph& g, std::vector<V>* elimination_order) {
+  const V n = g.num_vertices();
+  if (elimination_order) elimination_order->clear();
+  if (n == 0) return 0;
+  // Matula-Beck bucket peeling.
+  std::vector<int> deg(static_cast<std::size_t>(n));
+  int maxd = 0;
+  for (V v = 0; v < n; ++v) {
+    deg[static_cast<std::size_t>(v)] = g.degree(v);
+    maxd = std::max(maxd, deg[static_cast<std::size_t>(v)]);
+  }
+  std::vector<std::vector<V>> buckets(static_cast<std::size_t>(maxd) + 1);
+  for (V v = 0; v < n; ++v) {
+    buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(v)])].push_back(v);
+  }
+  std::vector<std::uint8_t> removed(static_cast<std::size_t>(n), 0);
+  int degen = 0;
+  int cursor = 0;
+  for (V processed = 0; processed < n; ++processed) {
+    // Find the lowest non-empty bucket. Degrees only decrease, so restart
+    // the scan at most one below the last extraction level.
+    while (cursor > 0 && !buckets[static_cast<std::size_t>(cursor - 1)].empty()) --cursor;
+    while (buckets[static_cast<std::size_t>(cursor)].empty()) ++cursor;
+    V v = -1;
+    auto& bucket = buckets[static_cast<std::size_t>(cursor)];
+    while (!bucket.empty()) {
+      const V cand = bucket.back();
+      bucket.pop_back();
+      if (!removed[static_cast<std::size_t>(cand)] &&
+          deg[static_cast<std::size_t>(cand)] == cursor) {
+        v = cand;
+        break;
+      }
+      // Stale entry; skip.
+    }
+    if (v < 0) {
+      --processed;
+      continue;
+    }
+    removed[static_cast<std::size_t>(v)] = 1;
+    degen = std::max(degen, cursor);
+    if (elimination_order) elimination_order->push_back(v);
+    for (const V u : g.neighbors(v)) {
+      if (removed[static_cast<std::size_t>(u)]) continue;
+      const int nd = --deg[static_cast<std::size_t>(u)];
+      buckets[static_cast<std::size_t>(nd)].push_back(u);
+    }
+  }
+  return degen;
+}
+
+bool has_subgraph_denser_than(const Graph& g, std::int64_t k) {
+  DVC_REQUIRE(k >= 0, "density threshold must be non-negative");
+  const V n = g.num_vertices();
+  const std::int64_t m = g.num_edges();
+  if (m == 0) return false;
+  if (k == 0) return true;  // any single edge: 1 > 0
+  // Project-selection network: source -> edge-node (cap 1),
+  // edge-node -> endpoints (cap inf), vertex -> sink (cap k).
+  // max_H (m_H - k n_H) = m - mincut; a non-empty H with m_H > k n_H exists
+  // iff the maximum is positive (the empty set contributes 0).
+  const int source = 0;
+  const int sink = 1;
+  const int edge_base = 2;
+  const int vertex_base = 2 + static_cast<int>(m);
+  MaxFlow net(vertex_base + n);
+  const std::int64_t inf = m + 1;
+  std::int64_t edge_index = 0;
+  for (V v = 0; v < n; ++v) {
+    for (const V u : g.neighbors(v)) {
+      if (v >= u) continue;
+      const int enode = edge_base + static_cast<int>(edge_index++);
+      net.add_edge(source, enode, 1);
+      net.add_edge(enode, vertex_base + v, inf);
+      net.add_edge(enode, vertex_base + u, inf);
+    }
+  }
+  for (V v = 0; v < n; ++v) net.add_edge(vertex_base + v, sink, k);
+  const std::int64_t mincut = net.run(source, sink);
+  return m - mincut > 0;
+}
+
+int pseudoarboricity(const Graph& g) {
+  if (g.num_edges() == 0) return 0;
+  // p = smallest k with no subgraph denser than k.
+  std::int64_t lo = std::max<std::int64_t>(
+      1, iceil_div(2 * g.num_edges(), std::max<V>(1, g.num_vertices())) / 2);
+  std::int64_t hi = std::max<std::int64_t>(1, degeneracy(g));
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (has_subgraph_denser_than(g, mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return static_cast<int>(lo);
+}
+
+std::pair<int, int> arboricity_bounds(const Graph& g) {
+  if (g.num_edges() == 0) return {0, 0};
+  const int degen = degeneracy(g);
+  if (degen <= 1) return {1, 1};  // forest
+  const int p = pseudoarboricity(g);
+  const int global_density = static_cast<int>(
+      iceil_div(g.num_edges(), std::max<V>(1, g.num_vertices() - 1)));
+  const int lo = std::max(p, global_density);
+  const int hi = std::min(degen, p + 1);
+  DVC_ENSURE(lo <= hi, "arboricity bounds crossed");
+  return {lo, hi};
+}
+
+}  // namespace dvc

@@ -1,0 +1,42 @@
+// Arboricity machinery.
+//
+// The paper's algorithms take the arboricity bound `a` as a parameter (the
+// standard LOCAL-model assumption). This module provides the tooling to
+// certify such bounds on concrete inputs:
+//
+//  * degeneracy (exact, linear time): arboricity a satisfies
+//    ceil((degeneracy+1)/2) <= a <= degeneracy;
+//  * pseudoarboricity (exact, via Dinic max-flow on the densest-subgraph
+//    LP): p = max_H ceil(m_H / n_H); classically p <= a <= p + 1;
+//  * the Nash-Williams global density lower bound ceil(m/(n-1)) <= a.
+//
+// arboricity_bounds() combines the three into a certified interval.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dvc {
+
+/// Degeneracy (max core number) and, optionally, a degeneracy elimination
+/// order (each vertex has <= degeneracy neighbors later in the order).
+int degeneracy(const Graph& g, std::vector<V>* elimination_order = nullptr);
+
+/// True iff some non-empty subgraph H has m_H > k * n_H (density test used
+/// by the pseudoarboricity binary search). k >= 0.
+bool has_subgraph_denser_than(const Graph& g, std::int64_t k);
+
+/// Exact pseudoarboricity: max over subgraphs H of ceil(m_H / n_H); equals
+/// the minimum max-out-degree over all complete orientations.
+int pseudoarboricity(const Graph& g);
+
+/// Certified arboricity interval [lo, hi]:
+///   lo = max(pseudoarboricity, ceil(m/(n-1))),
+///   hi = min(degeneracy, pseudoarboricity + 1),
+/// special-cased so that forests report exactly [1, 1] and empty graphs
+/// [0, 0].
+std::pair<int, int> arboricity_bounds(const Graph& g);
+
+}  // namespace dvc

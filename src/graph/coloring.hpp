@@ -1,0 +1,57 @@
+// Coloring type and validators: legality, defect, arbdefect (Definition 2.1
+// of the paper). Arbdefect is certified with witness orientations exactly as
+// in Lemma 2.5 / Theorem 3.2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dvc {
+
+class Orientation;  // graph/orientation.hpp
+
+/// color[v] is the color of vertex v; colors are arbitrary non-negative
+/// integers (palettes need not be contiguous).
+using Coloring = std::vector<std::int64_t>;
+
+/// Number of distinct colors used.
+int distinct_colors(const Coloring& c);
+
+/// max color + 1 (size of the implied contiguous palette).
+std::int64_t palette_span(const Coloring& c);
+
+/// True iff no edge is monochromatic (a "legal coloring", Section 2.1).
+bool is_legal_coloring(const Graph& g, const Coloring& c);
+
+/// Defect of the coloring: max over v of the number of neighbors sharing
+/// v's color (an m-defective coloring has defect <= m, Section 2.1).
+int coloring_defect(const Graph& g, const Coloring& c);
+
+/// Relabels colors to a dense 0..k-1 range preserving order of first use by
+/// value. Purely presentational: legality/defect/arbdefect are invariant.
+Coloring compact_colors(const Coloring& c);
+
+/// Arbdefect witness (Lemma 2.5): an orientation such that, restricted to
+/// monochromatic edges, it is acyclic and every vertex has monochromatic
+/// out-degree <= r. Returns the max monochromatic out-degree, i.e. the
+/// certified arbdefect bound, and throws if any monochromatic edge is
+/// unoriented or the monochromatic restriction is cyclic.
+int certified_arbdefect(const Graph& g, const Coloring& c, const Orientation& witness);
+
+/// Builds a witness orientation for `c` from a (possibly partial) acyclic
+/// orientation: keeps sigma's direction on every oriented monochromatic edge
+/// and completes unoriented monochromatic edges by the topological order of
+/// sigma's oriented part (Lemma 3.1). The result is acyclic on monochromatic
+/// edges by construction.
+Orientation make_arbdefect_witness(const Graph& g, const Coloring& c,
+                                   const Orientation& sigma);
+
+/// An independent-set check: no edge inside the set.
+bool is_independent_set(const Graph& g, const std::vector<std::uint8_t>& in_set);
+
+/// Maximality: every vertex outside the set has a neighbor inside.
+bool is_maximal_independent_set(const Graph& g, const std::vector<std::uint8_t>& in_set);
+
+}  // namespace dvc

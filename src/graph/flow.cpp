@@ -1,0 +1,82 @@
+#include "graph/flow.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace dvc {
+
+MaxFlow::MaxFlow(int num_nodes)
+    : adj_(static_cast<std::size_t>(num_nodes)),
+      level_(static_cast<std::size_t>(num_nodes)),
+      iter_(static_cast<std::size_t>(num_nodes)) {
+  DVC_REQUIRE(num_nodes >= 2, "flow network needs at least source and sink");
+}
+
+void MaxFlow::add_edge(int u, int v, std::int64_t capacity) {
+  DVC_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  Arc fwd{v, capacity, static_cast<int>(adj_[static_cast<std::size_t>(v)].size())};
+  Arc bwd{u, 0, static_cast<int>(adj_[static_cast<std::size_t>(u)].size())};
+  adj_[static_cast<std::size_t>(u)].push_back(fwd);
+  adj_[static_cast<std::size_t>(v)].push_back(bwd);
+}
+
+bool MaxFlow::bfs(int s, int t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::deque<int> queue{s};
+  level_[static_cast<std::size_t>(s)] = 0;
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop_front();
+    for (const Arc& arc : adj_[static_cast<std::size_t>(v)]) {
+      if (arc.cap <= 0 || level_[static_cast<std::size_t>(arc.to)] >= 0) continue;
+      level_[static_cast<std::size_t>(arc.to)] = level_[static_cast<std::size_t>(v)] + 1;
+      queue.push_back(arc.to);
+    }
+  }
+  return level_[static_cast<std::size_t>(t)] >= 0;
+}
+
+std::int64_t MaxFlow::dfs(int v, int t, std::int64_t pushed) {
+  if (v == t) return pushed;
+  for (int& i = iter_[static_cast<std::size_t>(v)];
+       i < static_cast<int>(adj_[static_cast<std::size_t>(v)].size()); ++i) {
+    Arc& arc = adj_[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)];
+    if (arc.cap <= 0 ||
+        level_[static_cast<std::size_t>(arc.to)] != level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const std::int64_t got = dfs(arc.to, t, std::min(pushed, arc.cap));
+    if (got > 0) {
+      arc.cap -= got;
+      adj_[static_cast<std::size_t>(arc.to)][static_cast<std::size_t>(arc.rev)].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+std::int64_t MaxFlow::run(int s, int t) {
+  DVC_REQUIRE(s != t, "source must differ from sink");
+  std::int64_t flow = 0;
+  while (bfs(s, t)) {
+    std::fill(iter_.begin(), iter_.end(), 0);
+    while (true) {
+      const std::int64_t pushed =
+          dfs(s, t, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      flow += pushed;
+    }
+  }
+  // Final BFS already left level_ describing reachability from s in the
+  // residual network, which is exactly the min-cut source side.
+  return flow;
+}
+
+bool MaxFlow::source_side(int u) const {
+  return level_[static_cast<std::size_t>(u)] >= 0;
+}
+
+}  // namespace dvc

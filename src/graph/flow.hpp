@@ -1,0 +1,37 @@
+// Dinic max-flow on small networks. Used by the exact densest-subgraph /
+// pseudoarboricity computations in graph/arboricity.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dvc {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(int num_nodes);
+
+  /// Adds a directed edge u -> v with the given capacity.
+  void add_edge(int u, int v, std::int64_t capacity);
+
+  /// Computes the max flow from s to t. May be called once.
+  std::int64_t run(int s, int t);
+
+  /// After run(): true iff node u is on the source side of the min cut.
+  bool source_side(int u) const;
+
+ private:
+  struct Arc {
+    int to;
+    std::int64_t cap;
+    int rev;  // index of the reverse arc in adj_[to]
+  };
+  bool bfs(int s, int t);
+  std::int64_t dfs(int v, int t, std::int64_t pushed);
+
+  std::vector<std::vector<Arc>> adj_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace dvc

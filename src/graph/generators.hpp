@@ -1,0 +1,78 @@
+// Graph generators for tests, examples, and the benchmark workloads.
+//
+// Every generator is deterministic in its seed. Where the family has a known
+// arboricity bound it is stated in the doc comment; the benches rely on these
+// certified bounds (and the validators in graph/arboricity.hpp cross-check
+// them).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace dvc {
+
+/// Simple path v0-v1-...-v(n-1). Arboricity 1.
+Graph path_graph(V n);
+
+/// Cycle on n >= 3 vertices, vertex v adjacent to (v+-1) mod n. Arboricity 2
+/// (exactly 2 for n >= 3 since m = n). The consecutive-id layout doubles as
+/// the "oriented ring" needed by Cole-Vishkin: the successor of v is
+/// (v+1) mod n.
+Graph cycle_graph(V n);
+
+/// Complete graph K_n. Arboricity ceil(n/2).
+Graph complete_graph(V n);
+
+/// Complete bipartite K_{n1,n2}.
+Graph complete_bipartite(V n1, V n2);
+
+/// Star with one hub and n-1 leaves. Arboricity 1.
+Graph star_graph(V n);
+
+/// rows x cols grid. Arboricity 2; planar.
+Graph grid_graph(V rows, V cols);
+
+/// rows x cols torus (wrap-around grid), rows, cols >= 3. 4-regular.
+Graph torus_graph(V rows, V cols);
+
+/// d-dimensional hypercube (2^d vertices, d-regular). Arboricity <= ceil(d/2)+1.
+Graph hypercube_graph(int dim);
+
+/// Uniform random graph with exactly m distinct edges.
+Graph random_gnm(V n, std::int64_t m, std::uint64_t seed);
+
+/// Erdos-Renyi G(n, p) (only sensible for small n*p).
+Graph random_gnp(V n, double p, std::uint64_t seed);
+
+/// Random d-regular-ish graph via the pairing model; self loops and parallel
+/// edges are dropped, so some vertices can have degree slightly below d.
+/// Max degree <= d.
+Graph random_near_regular(V n, int d, std::uint64_t seed);
+
+/// Uniform random labelled tree (random attachment process). Arboricity 1.
+Graph random_tree(V n, std::uint64_t seed);
+
+/// Forest with `trees` components, ~n vertices total. Arboricity 1.
+Graph random_forest(V n, int trees, std::uint64_t seed);
+
+/// Union of `a` independent random spanning trees on the same vertex set
+/// (duplicate edges removed). Arboricity <= a, and at least
+/// ceil(m/(n-1)) >= a - o(a) in practice, so `a` is essentially tight.
+Graph planted_arboricity(V n, int a, std::uint64_t seed);
+
+/// Preferential-attachment (Barabasi-Albert) graph: each new vertex attaches
+/// to `k` existing vertices. Degeneracy <= k, hence arboricity <= k.
+Graph barabasi_albert(V n, int k, std::uint64_t seed);
+
+/// Low-arboricity / high-degree family for Corollary 4.7 experiments:
+/// union of (a-1) random spanning trees plus a perfect star forest whose
+/// hubs have degree ~hub_degree. Arboricity <= a while max degree ~hub_degree.
+Graph low_arboricity_high_degree(V n, int a, int hub_degree, std::uint64_t seed);
+
+/// Random geometric graph: n points in the unit square, edge iff distance
+/// <= radius (grid-hashed; intended for sparse radii). Models the wireless
+/// sensor networks that motivate distributed coloring (TDMA, [14] in paper).
+Graph random_geometric(V n, double radius, std::uint64_t seed);
+
+}  // namespace dvc

@@ -1,0 +1,86 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dvc {
+
+Graph Graph::from_edges(V n, const EdgeList& edges) {
+  DVC_REQUIRE(n >= 0, "vertex count must be non-negative");
+  // Normalize: drop self loops, order endpoints, dedupe.
+  EdgeList norm;
+  norm.reserve(edges.size());
+  for (auto [u, v] : edges) {
+    DVC_REQUIRE(u >= 0 && u < n && v >= 0 && v < n, "edge endpoint out of range");
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    norm.emplace_back(u, v);
+  }
+  std::sort(norm.begin(), norm.end());
+  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+
+  Graph g;
+  g.n_ = n;
+  g.m_ = static_cast<std::int64_t>(norm.size());
+  g.off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [u, v] : norm) {
+    ++g.off_[static_cast<std::size_t>(u) + 1];
+    ++g.off_[static_cast<std::size_t>(v) + 1];
+  }
+  for (V v = 0; v < n; ++v) g.off_[static_cast<std::size_t>(v) + 1] += g.off_[v];
+  g.adj_.resize(static_cast<std::size_t>(2 * g.m_));
+  std::vector<std::int64_t> cursor(g.off_.begin(), g.off_.end() - 1);
+  for (auto [u, v] : norm) {
+    g.adj_[static_cast<std::size_t>(cursor[u]++)] = v;
+    g.adj_[static_cast<std::size_t>(cursor[v]++)] = u;
+  }
+  // Adjacency is already sorted per vertex because `norm` is sorted and we
+  // append in order for the first endpoint; for the second endpoint order is
+  // also ascending since pairs are sorted lexicographically. Verify cheaply.
+  for (V v = 0; v < n; ++v) {
+    auto nb = g.neighbors(v);
+    DVC_ENSURE(std::is_sorted(nb.begin(), nb.end()), "adjacency must be sorted");
+  }
+  g.max_deg_ = 0;
+  for (V v = 0; v < n; ++v) g.max_deg_ = std::max(g.max_deg_, g.degree(v));
+
+  // Mirror + owner tables.
+  g.owner_.resize(static_cast<std::size_t>(2 * g.m_));
+  g.mirror_.resize(static_cast<std::size_t>(2 * g.m_));
+  for (V v = 0; v < n; ++v) {
+    for (std::int64_t s = g.off_[v]; s < g.off_[static_cast<std::size_t>(v) + 1]; ++s) {
+      g.owner_[static_cast<std::size_t>(s)] = v;
+    }
+  }
+  for (V v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    for (int p = 0; p < static_cast<int>(nb.size()); ++p) {
+      const V u = nb[p];
+      const int back = g.port_of(u, v);
+      DVC_ENSURE(back >= 0, "mirror port must exist");
+      g.mirror_[static_cast<std::size_t>(g.off_[v] + p)] = g.off_[u] + back;
+    }
+  }
+  return g;
+}
+
+int Graph::port_of(V v, V u) const {
+  const auto nb = neighbors(v);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), u);
+  if (it == nb.end() || *it != u) return -1;
+  return static_cast<int>(it - nb.begin());
+}
+
+EdgeList Graph::edges() const {
+  EdgeList out;
+  out.reserve(static_cast<std::size_t>(m_));
+  for (V v = 0; v < n_; ++v) {
+    for (V u : neighbors(v)) {
+      if (v < u) out.emplace_back(v, u);
+    }
+  }
+  return out;
+}
+
+}  // namespace dvc

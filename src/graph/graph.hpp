@@ -1,0 +1,75 @@
+// Immutable undirected simple graph in CSR form.
+//
+// Vertices are 0-based int32 indices; in the LOCAL model the unique identity
+// of vertex v is id(v) = v + 1 (ids in {1..n}, as in the paper).
+//
+// Every undirected edge {u, v} owns two "directed slots": slot(u, port_u) and
+// slot(v, port_v), one per endpoint. Slots index per-edge data (orientations,
+// message routing); mirror_slot maps a slot to the opposite endpoint's slot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dvc {
+
+using V = std::int32_t;
+using EdgeList = std::vector<std::pair<V, V>>;
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from an edge list: self loops are dropped, parallel edges are
+  /// deduplicated, adjacency lists are sorted ascending.
+  static Graph from_edges(V n, const EdgeList& edges);
+
+  V num_vertices() const { return n_; }
+  std::int64_t num_edges() const { return m_; }
+  std::int64_t num_slots() const { return 2 * m_; }
+
+  int degree(V v) const {
+    return static_cast<int>(off_[static_cast<std::size_t>(v) + 1] - off_[v]);
+  }
+  std::span<const V> neighbors(V v) const {
+    return {adj_.data() + off_[v],
+            static_cast<std::size_t>(off_[static_cast<std::size_t>(v) + 1] - off_[v])};
+  }
+  V neighbor(V v, int port) const { return adj_[off_[v] + port]; }
+  int max_degree() const { return max_deg_; }
+
+  /// Directed slot id of (v, port).
+  std::int64_t slot(V v, int port) const { return off_[v] + port; }
+  /// Slot of the reverse direction of the same undirected edge.
+  std::int64_t mirror_slot(std::int64_t s) const { return mirror_[s]; }
+  V slot_owner(std::int64_t s) const { return owner_[s]; }
+  int slot_port(std::int64_t s) const {
+    return static_cast<int>(s - off_[owner_[s]]);
+  }
+
+  /// Port of u in v's adjacency list, or -1 if {v,u} is not an edge.
+  int port_of(V v, V u) const;
+
+  bool has_edge(V v, V u) const { return port_of(v, u) >= 0; }
+
+  /// Average degree 2m/n (0 for empty graph).
+  double average_degree() const {
+    return n_ == 0 ? 0.0 : 2.0 * static_cast<double>(m_) / n_;
+  }
+
+  /// All undirected edges as (u, v) with u < v.
+  EdgeList edges() const;
+
+ private:
+  V n_ = 0;
+  std::int64_t m_ = 0;
+  int max_deg_ = 0;
+  std::vector<std::int64_t> off_;  // size n+1
+  std::vector<V> adj_;             // size 2m, sorted per vertex
+  std::vector<std::int64_t> mirror_;  // size 2m
+  std::vector<V> owner_;              // size 2m
+};
+
+}  // namespace dvc

@@ -1,0 +1,50 @@
+#include "graph/subgraph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace dvc {
+
+Induced induced_subgraph(const Graph& g, std::span<const V> vertices) {
+  Induced out;
+  out.to_parent.assign(vertices.begin(), vertices.end());
+  std::sort(out.to_parent.begin(), out.to_parent.end());
+  out.to_parent.erase(std::unique(out.to_parent.begin(), out.to_parent.end()),
+                      out.to_parent.end());
+  std::vector<V> from_parent(static_cast<std::size_t>(g.num_vertices()), -1);
+  for (std::size_t i = 0; i < out.to_parent.size(); ++i) {
+    const V v = out.to_parent[i];
+    DVC_REQUIRE(v >= 0 && v < g.num_vertices(), "subgraph vertex out of range");
+    from_parent[static_cast<std::size_t>(v)] = static_cast<V>(i);
+  }
+  EdgeList edges;
+  for (std::size_t i = 0; i < out.to_parent.size(); ++i) {
+    const V v = out.to_parent[i];
+    for (const V u : g.neighbors(v)) {
+      if (u <= v) continue;
+      const V mapped = from_parent[static_cast<std::size_t>(u)];
+      if (mapped < 0) continue;
+      edges.emplace_back(static_cast<V>(i), mapped);
+    }
+  }
+  out.graph = Graph::from_edges(static_cast<V>(out.to_parent.size()), edges);
+  return out;
+}
+
+std::vector<Induced> color_class_subgraphs(const Graph& g, const Coloring& c) {
+  DVC_REQUIRE(static_cast<V>(c.size()) == g.num_vertices(), "coloring size mismatch");
+  std::map<std::int64_t, std::vector<V>> classes;
+  for (V v = 0; v < g.num_vertices(); ++v) {
+    classes[c[static_cast<std::size_t>(v)]].push_back(v);
+  }
+  std::vector<Induced> out;
+  out.reserve(classes.size());
+  for (const auto& [color, members] : classes) {
+    out.push_back(induced_subgraph(g, members));
+  }
+  return out;
+}
+
+}  // namespace dvc

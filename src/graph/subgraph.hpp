@@ -1,0 +1,26 @@
+// Induced subgraph extraction. Validators use these to reason about color
+// classes; the distributed algorithms themselves never materialize
+// subgraphs (they restrict attention to same-group neighbors instead).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/coloring.hpp"
+#include "graph/graph.hpp"
+
+namespace dvc {
+
+struct Induced {
+  Graph graph;
+  std::vector<V> to_parent;  // subgraph vertex -> original vertex
+};
+
+Induced induced_subgraph(const Graph& g, std::span<const V> vertices);
+
+/// One induced subgraph per distinct color value, keyed in ascending color
+/// order.
+std::vector<Induced> color_class_subgraphs(const Graph& g, const Coloring& c);
+
+}  // namespace dvc

@@ -1,0 +1,112 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace dvc::sim {
+
+int Ctx::degree() const { return engine_->graph().degree(v_); }
+int Ctx::round() const { return engine_->round_; }
+
+void Ctx::send(int port, std::vector<std::int64_t> payload) {
+  engine_->do_send(v_, port, std::move(payload));
+}
+
+void Ctx::broadcast(const std::vector<std::int64_t>& payload) {
+  const int deg = degree();
+  for (int p = 0; p < deg; ++p) engine_->do_send(v_, p, payload);
+}
+
+void Ctx::halt() { engine_->do_halt(v_); }
+
+Engine::Engine(const Graph& g) : g_(&g) {}
+
+void Engine::do_send(V from, int port, std::vector<std::int64_t> payload) {
+  DVC_REQUIRE(port >= 0 && port < g_->degree(from), "send port out of range");
+  const std::int64_t peer_slot = g_->mirror_slot(g_->slot(from, port));
+  Packet pkt;
+  pkt.receiver = g_->slot_owner(peer_slot);
+  pkt.port = g_->slot_port(peer_slot);
+  pkt.data = std::move(payload);
+  stats_.messages += 1;
+  stats_.words += pkt.data.size();
+  outgoing_.push_back(std::move(pkt));
+}
+
+void Engine::do_halt(V v) {
+  if (!halted_[static_cast<std::size_t>(v)]) {
+    halted_[static_cast<std::size_t>(v)] = 1;
+    --live_;
+  }
+}
+
+RunStats Engine::run(VertexProgram& program, int max_rounds) {
+  const V n = g_->num_vertices();
+  halted_.assign(static_cast<std::size_t>(n), 0);
+  live_ = n;
+  round_ = 0;
+  stats_ = RunStats{};
+  outgoing_.clear();
+
+  for (V v = 0; v < n; ++v) {
+    Ctx ctx(*this, v);
+    program.begin(ctx);
+  }
+
+  // Delivery buffers reused across rounds.
+  std::vector<Packet> in_flight;
+  std::vector<std::int64_t> first(static_cast<std::size_t>(n) + 1, 0);
+  Inbox inbox;
+
+  while (live_ > 0) {
+    DVC_ENSURE(round_ < max_rounds,
+               program.name() + " exceeded the round cap of " +
+                   std::to_string(max_rounds) +
+                   " (likely cause: a structural parameter such as the "
+                   "arboricity bound is below the graph's true value)");
+    ++round_;
+    stats_.active_per_round.push_back(live_);
+    in_flight.swap(outgoing_);
+    outgoing_.clear();
+
+    // Bucket packets by receiver (counting sort keeps delivery O(#packets)).
+    std::fill(first.begin(), first.end(), 0);
+    for (const Packet& pkt : in_flight) {
+      ++first[static_cast<std::size_t>(pkt.receiver) + 1];
+    }
+    for (V v = 0; v < n; ++v) {
+      first[static_cast<std::size_t>(v) + 1] += first[static_cast<std::size_t>(v)];
+    }
+    std::vector<const Packet*> sorted(in_flight.size());
+    {
+      std::vector<std::int64_t> cursor(first.begin(), first.end() - 1);
+      for (const Packet& pkt : in_flight) {
+        sorted[static_cast<std::size_t>(cursor[static_cast<std::size_t>(pkt.receiver)]++)] =
+            &pkt;
+      }
+    }
+
+    for (V v = 0; v < n; ++v) {
+      if (halted_[static_cast<std::size_t>(v)]) continue;
+      inbox.msgs_.clear();
+      for (std::int64_t i = first[static_cast<std::size_t>(v)];
+           i < first[static_cast<std::size_t>(v) + 1]; ++i) {
+        const Packet& pkt = *sorted[static_cast<std::size_t>(i)];
+        inbox.msgs_.push_back(MsgView{pkt.port, pkt.data});
+      }
+      Ctx ctx(*this, v);
+      program.step(ctx, inbox);
+    }
+  }
+  stats_.rounds = round_;
+  return stats_;
+}
+
+int default_round_cap(V n, int scale) {
+  const int logn = ilog2_ceil(static_cast<std::uint64_t>(std::max<V>(n, 2)));
+  return 64 * logn * std::max(1, scale) + 256;
+}
+
+}  // namespace dvc::sim

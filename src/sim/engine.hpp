@@ -1,0 +1,140 @@
+// Synchronous LOCAL-model simulator (the paper's Section 1 machine model).
+//
+// Each vertex hosts a processor that knows only its own id (= vertex + 1,
+// ids in {1..n}), its degree, and its port numbering. Computation proceeds
+// in discrete rounds: every message sent in round r is delivered at the
+// start of round r+1. The engine counts rounds, messages and payload words;
+// the round count of a run is exactly the paper's "running time".
+//
+// Programs are written against the VertexProgram interface:
+//   * begin(ctx)         -- local initialization; may send and/or halt.
+//   * step(ctx, inbox)   -- called once per round for every non-halted
+//                           vertex with the messages delivered this round.
+//
+// A vertex that halts stops participating; the run ends when every vertex
+// has halted (stats.rounds then equals the number of communication rounds
+// consumed) or throws when max_rounds is exceeded.
+//
+// Global algorithm parameters (n, degree bounds, palette parameters, the
+// arboricity bound) may be baked into a program: in the LOCAL model these
+// are standard global knowledge. All topology information, however, must
+// flow through messages.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dvc::sim {
+
+struct RunStats {
+  int rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  /// Number of non-halted vertices at the start of each round. Sequential
+  /// phase composition (operator+=) concatenates, so a composed driver's
+  /// profile covers its whole pipeline. Used to validate the paper's
+  /// Section 1.4 parallelism claim ("all vertices are active at (almost)
+  /// all times").
+  std::vector<std::int32_t> active_per_round;
+
+  RunStats& operator+=(const RunStats& other) {
+    rounds += other.rounds;
+    messages += other.messages;
+    words += other.words;
+    active_per_round.insert(active_per_round.end(),
+                            other.active_per_round.begin(),
+                            other.active_per_round.end());
+    return *this;
+  }
+};
+
+/// One received message: the port it arrived on and its payload words.
+struct MsgView {
+  int port;
+  std::span<const std::int64_t> data;
+};
+
+/// The messages a vertex received at the start of the current round.
+class Inbox {
+ public:
+  std::size_t size() const { return msgs_.size(); }
+  bool empty() const { return msgs_.empty(); }
+  const MsgView& operator[](std::size_t i) const { return msgs_[i]; }
+  auto begin() const { return msgs_.begin(); }
+  auto end() const { return msgs_.end(); }
+
+ private:
+  friend class Engine;
+  std::vector<MsgView> msgs_;
+};
+
+class Engine;
+
+/// Per-vertex API handed to VertexProgram callbacks.
+class Ctx {
+ public:
+  V vertex() const { return v_; }
+  /// Unique identity in {1..n} as assumed by the paper.
+  std::int64_t id() const { return v_ + 1; }
+  int degree() const;
+  int round() const;
+
+  void send(int port, std::vector<std::int64_t> payload);
+  void broadcast(const std::vector<std::int64_t>& payload);
+  void halt();
+
+ private:
+  friend class Engine;
+  Ctx(Engine& e, V v) : engine_(&e), v_(v) {}
+  Engine* engine_;
+  V v_;
+};
+
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+  virtual std::string name() const = 0;
+  virtual void begin(Ctx& ctx) { (void)ctx; }
+  virtual void step(Ctx& ctx, const Inbox& inbox) = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const Graph& g);
+
+  /// Runs the program to completion (all vertices halted). Throws
+  /// invariant_error if max_rounds is exceeded -- which the library treats
+  /// as "the algorithm's structural assumption was violated" (e.g. an
+  /// arboricity bound below the true arboricity).
+  RunStats run(VertexProgram& program, int max_rounds);
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  friend class Ctx;
+
+  struct Packet {
+    V receiver;
+    int port;                         // receiver-side port
+    std::vector<std::int64_t> data;
+  };
+
+  void do_send(V from, int port, std::vector<std::int64_t> payload);
+  void do_halt(V v);
+
+  const Graph* g_;
+  std::vector<Packet> outgoing_;
+  std::vector<std::uint8_t> halted_;
+  V live_ = 0;
+  int round_ = 0;
+  RunStats stats_;
+};
+
+/// Generous default round cap for drivers: c1 * log2(n) * scale + c2.
+int default_round_cap(V n, int scale = 1);
+
+}  // namespace dvc::sim

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "graph/arboricity.hpp"
+#include "graph/flow.hpp"
+#include "graph/generators.hpp"
+
+namespace dvc {
+namespace {
+
+TEST(MaxFlow, SimplePath) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 3);
+  f.add_edge(1, 2, 2);
+  f.add_edge(2, 3, 5);
+  EXPECT_EQ(f.run(0, 3), 2);
+}
+
+TEST(MaxFlow, ParallelPaths) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 2);
+  f.add_edge(0, 2, 3);
+  f.add_edge(1, 3, 4);
+  f.add_edge(2, 3, 1);
+  EXPECT_EQ(f.run(0, 3), 3);
+}
+
+TEST(MaxFlow, MinCutSides) {
+  MaxFlow f(3);
+  f.add_edge(0, 1, 1);
+  f.add_edge(1, 2, 10);
+  EXPECT_EQ(f.run(0, 2), 1);
+  EXPECT_TRUE(f.source_side(0));
+  EXPECT_FALSE(f.source_side(1));
+  EXPECT_FALSE(f.source_side(2));
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(degeneracy(path_graph(10)), 1);
+  EXPECT_EQ(degeneracy(cycle_graph(10)), 2);
+  EXPECT_EQ(degeneracy(complete_graph(6)), 5);
+  EXPECT_EQ(degeneracy(grid_graph(5, 5)), 2);
+  EXPECT_EQ(degeneracy(complete_bipartite(3, 7)), 3);
+  EXPECT_EQ(degeneracy(Graph::from_edges(3, {})), 0);
+}
+
+TEST(Degeneracy, EliminationOrderProperty) {
+  Graph g = random_gnm(120, 360, 5);
+  std::vector<V> order;
+  const int d = degeneracy(g, &order);
+  ASSERT_EQ(static_cast<V>(order.size()), g.num_vertices());
+  // Every vertex has at most d neighbors later in the order.
+  std::vector<int> pos(static_cast<std::size_t>(g.num_vertices()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    pos[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (V v = 0; v < g.num_vertices(); ++v) {
+    int later = 0;
+    for (const V u : g.neighbors(v)) {
+      later += pos[static_cast<std::size_t>(u)] > pos[static_cast<std::size_t>(v)];
+    }
+    EXPECT_LE(later, d);
+  }
+}
+
+TEST(DensityTest, DetectsDenseSubgraph) {
+  // K5 (density 2) hidden in a long path.
+  EdgeList edges = complete_graph(5).edges();
+  for (V v = 5; v < 50; ++v) edges.emplace_back(v - 1, v);
+  Graph g = Graph::from_edges(50, edges);
+  EXPECT_TRUE(has_subgraph_denser_than(g, 1));
+  EXPECT_FALSE(has_subgraph_denser_than(g, 2));
+}
+
+TEST(Pseudoarboricity, KnownValues) {
+  EXPECT_EQ(pseudoarboricity(path_graph(10)), 1);
+  EXPECT_EQ(pseudoarboricity(cycle_graph(10)), 1);  // m_H <= n_H everywhere
+  EXPECT_EQ(pseudoarboricity(complete_graph(5)), 2);
+  EXPECT_EQ(pseudoarboricity(complete_graph(7)), 3);
+  EXPECT_EQ(pseudoarboricity(grid_graph(6, 6)), 2);
+}
+
+TEST(ArboricityBounds, KnownFamilies) {
+  // Forests: exactly 1.
+  EXPECT_EQ(arboricity_bounds(random_tree(100, 1)), (std::pair<int, int>{1, 1}));
+  // Cycle: arboricity 2 (m = n > n-1).
+  const auto cyc = arboricity_bounds(cycle_graph(12));
+  EXPECT_LE(cyc.first, 2);
+  EXPECT_GE(cyc.second, 2);
+  // K_n: arboricity ceil(n/2).
+  const auto k6 = arboricity_bounds(complete_graph(6));
+  EXPECT_LE(k6.first, 3);
+  EXPECT_GE(k6.second, 3);
+  EXPECT_LE(k6.second, 3 + 1);
+  // Empty graph.
+  EXPECT_EQ(arboricity_bounds(Graph::from_edges(4, {})), (std::pair<int, int>{0, 0}));
+}
+
+class ArboricitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArboricitySweep, PlantedBoundsAreConsistent) {
+  const int a = GetParam();
+  Graph g = planted_arboricity(150, a, static_cast<std::uint64_t>(a) * 31 + 1);
+  const auto [lo, hi] = arboricity_bounds(g);
+  EXPECT_LE(lo, hi);
+  EXPECT_LE(lo, a);       // the construction certifies arboricity <= a
+  EXPECT_GE(hi, a - 1);   // and the planted density keeps it near a
+  EXPECT_LE(hi, lo + 1);  // interval is tight: p <= a <= p+1 and degeneracy
+}
+
+INSTANTIATE_TEST_SUITE_P(PlantedA, ArboricitySweep, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace dvc

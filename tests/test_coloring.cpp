@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "graph/orientation.hpp"
+
+namespace dvc {
+namespace {
+
+TEST(Coloring, LegalityDetection) {
+  Graph p = path_graph(4);
+  EXPECT_TRUE(is_legal_coloring(p, {0, 1, 0, 1}));
+  EXPECT_FALSE(is_legal_coloring(p, {0, 0, 1, 0}));
+  EXPECT_THROW(is_legal_coloring(p, {0, 1}), precondition_error);
+}
+
+TEST(Coloring, DefectCounts) {
+  Graph k4 = complete_graph(4);
+  EXPECT_EQ(coloring_defect(k4, {0, 0, 0, 0}), 3);
+  EXPECT_EQ(coloring_defect(k4, {0, 0, 1, 1}), 1);
+  EXPECT_EQ(coloring_defect(k4, {0, 1, 2, 3}), 0);
+}
+
+TEST(Coloring, DistinctAndSpan) {
+  Coloring c{5, 9, 5, 2};
+  EXPECT_EQ(distinct_colors(c), 3);
+  EXPECT_EQ(palette_span(c), 10);
+}
+
+TEST(Coloring, CompactPreservesStructure) {
+  Graph p = path_graph(4);
+  Coloring c{10, 70, 10, 5};
+  Coloring d = compact_colors(c);
+  EXPECT_EQ(d, (Coloring{1, 2, 1, 0}));
+  EXPECT_EQ(is_legal_coloring(p, c), is_legal_coloring(p, d));
+  EXPECT_EQ(coloring_defect(p, c), coloring_defect(p, d));
+}
+
+TEST(ArbdefectWitness, CertifiesTriangleClass) {
+  // Monochromatic triangle: orient it acyclically; max mono out-degree is 2
+  // (arboricity of K3 is indeed 2... but the witness certifies <= 2).
+  Graph k3 = complete_graph(3);
+  Coloring mono{0, 0, 0};
+  Orientation w(k3);
+  w.orient_out(0, k3.port_of(0, 1));
+  w.orient_out(0, k3.port_of(0, 2));
+  w.orient_out(1, k3.port_of(1, 2));
+  EXPECT_EQ(certified_arbdefect(k3, mono, w), 2);
+}
+
+TEST(ArbdefectWitness, RejectsUnorientedMonochromaticEdge) {
+  Graph p = path_graph(2);
+  Coloring mono{0, 0};
+  Orientation w(p);
+  EXPECT_THROW(certified_arbdefect(p, mono, w), invariant_error);
+}
+
+TEST(ArbdefectWitness, RejectsCyclicWitness) {
+  Graph k3 = complete_graph(3);
+  Coloring mono{0, 0, 0};
+  Orientation w(k3);
+  w.orient_out(0, k3.port_of(0, 1));
+  w.orient_out(1, k3.port_of(1, 2));
+  w.orient_out(2, k3.port_of(2, 0));
+  EXPECT_THROW(certified_arbdefect(k3, mono, w), invariant_error);
+}
+
+TEST(ArbdefectWitness, IgnoresBichromaticEdges) {
+  Graph p = path_graph(3);
+  Coloring c{0, 1, 0};  // no monochromatic edge
+  Orientation w(p);     // nothing oriented
+  EXPECT_EQ(certified_arbdefect(p, c, w), 0);
+}
+
+TEST(ArbdefectWitness, MakeWitnessCompletesDeficitEdges) {
+  // Partial orientation on a mono path: 0->1 oriented, 1-2 unoriented.
+  Graph p = path_graph(3);
+  Coloring mono{0, 0, 0};
+  Orientation sigma(p);
+  sigma.orient_out(0, p.port_of(0, 1));
+  Orientation w = make_arbdefect_witness(p, mono, sigma);
+  const int r = certified_arbdefect(p, mono, w);
+  EXPECT_LE(r, 2);
+  EXPECT_GE(r, 1);
+}
+
+TEST(IndependentSet, Checks) {
+  Graph p = path_graph(4);
+  EXPECT_TRUE(is_independent_set(p, {1, 0, 1, 0}));
+  EXPECT_FALSE(is_independent_set(p, {1, 1, 0, 0}));
+  EXPECT_TRUE(is_maximal_independent_set(p, {1, 0, 1, 0}));
+  EXPECT_FALSE(is_maximal_independent_set(p, {1, 0, 0, 0}));  // 2 uncovered... 3 is
+  EXPECT_FALSE(is_maximal_independent_set(p, {0, 0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace dvc

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/generators.hpp"
+
+namespace dvc {
+namespace {
+
+TEST(Generators, PathCycleStar) {
+  Graph p = path_graph(10);
+  EXPECT_EQ(p.num_edges(), 9);
+  EXPECT_EQ(p.max_degree(), 2);
+
+  Graph c = cycle_graph(10);
+  EXPECT_EQ(c.num_edges(), 10);
+  EXPECT_EQ(c.max_degree(), 2);
+  for (V v = 0; v < 10; ++v) EXPECT_TRUE(c.has_edge(v, (v + 1) % 10));
+
+  Graph s = star_graph(8);
+  EXPECT_EQ(s.num_edges(), 7);
+  EXPECT_EQ(s.max_degree(), 7);
+  EXPECT_EQ(s.degree(1), 1);
+}
+
+TEST(Generators, CompleteGraphs) {
+  Graph k5 = complete_graph(5);
+  EXPECT_EQ(k5.num_edges(), 10);
+  EXPECT_EQ(k5.max_degree(), 4);
+
+  Graph b = complete_bipartite(3, 4);
+  EXPECT_EQ(b.num_edges(), 12);
+  EXPECT_EQ(b.degree(0), 4);
+  EXPECT_EQ(b.degree(3), 3);
+}
+
+TEST(Generators, GridAndTorus) {
+  Graph grid = grid_graph(4, 5);
+  EXPECT_EQ(grid.num_vertices(), 20);
+  EXPECT_EQ(grid.num_edges(), 4 * 4 + 5 * 3);  // rows*(cols-1) + cols*(rows-1)
+  EXPECT_EQ(grid.max_degree(), 4);
+
+  Graph torus = torus_graph(4, 5);
+  EXPECT_EQ(torus.num_edges(), 2 * 20);
+  for (V v = 0; v < torus.num_vertices(); ++v) EXPECT_EQ(torus.degree(v), 4);
+}
+
+TEST(Generators, Hypercube) {
+  Graph h = hypercube_graph(4);
+  EXPECT_EQ(h.num_vertices(), 16);
+  EXPECT_EQ(h.num_edges(), 32);
+  for (V v = 0; v < h.num_vertices(); ++v) EXPECT_EQ(h.degree(v), 4);
+}
+
+TEST(Generators, GnmHasExactEdgeCount) {
+  Graph g = random_gnm(100, 250, 1);
+  EXPECT_EQ(g.num_vertices(), 100);
+  EXPECT_EQ(g.num_edges(), 250);
+}
+
+TEST(Generators, GnmDeterministicInSeed) {
+  Graph a = random_gnm(64, 128, 7);
+  Graph b = random_gnm(64, 128, 7);
+  Graph c = random_gnm(64, 128, 8);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+TEST(Generators, NearRegularRespectsDegreeCap) {
+  Graph g = random_near_regular(200, 6, 3);
+  EXPECT_LE(g.max_degree(), 6);
+  // The pairing model loses only a few edges to dedupe.
+  EXPECT_GE(g.num_edges(), 200 * 6 / 2 - 30);
+}
+
+TEST(Generators, TreesAreForests) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    Graph t = random_tree(300, seed);
+    EXPECT_EQ(t.num_edges(), 299);
+    EXPECT_EQ(degeneracy(t), 1);  // forests have degeneracy 1
+  }
+}
+
+TEST(Generators, ForestHasRequestedComponents) {
+  Graph f = random_forest(100, 5, 2);
+  EXPECT_EQ(f.num_edges(), 95);
+  EXPECT_EQ(degeneracy(f), 1);
+}
+
+TEST(Generators, PlantedArboricityIsTight) {
+  for (int a : {2, 3, 5}) {
+    Graph g = planted_arboricity(200, a, 11);
+    const auto [lo, hi] = arboricity_bounds(g);
+    EXPECT_LE(hi, 2 * a);  // never exceeds the planted bound by much
+    EXPECT_GE(lo, a - 1);  // essentially tight from below
+    // Certified upper bound from the construction itself:
+    EXPECT_LE(lo, a);
+  }
+}
+
+TEST(Generators, BarabasiAlbertDegeneracyBound) {
+  Graph g = barabasi_albert(300, 4, 5);
+  EXPECT_LE(degeneracy(g), 4);
+  EXPECT_GT(g.max_degree(), 8);  // hubs emerge
+}
+
+TEST(Generators, LowArbHighDegreeSeparatesParameters) {
+  Graph g = low_arboricity_high_degree(2000, 3, 128, 9);
+  EXPECT_GE(g.max_degree(), 128);
+  const auto [lo, hi] = arboricity_bounds(g);
+  EXPECT_LE(lo, 3);
+  EXPECT_LE(hi, 5);
+}
+
+TEST(Generators, GeometricMatchesBruteForce) {
+  const V n = 150;
+  const double r = 0.15;
+  Graph g = random_geometric(n, r, 13);
+  // Re-derive points with the same seed and compare edge sets brute force.
+  Rng rng(13);
+  std::vector<double> x(n), y(n);
+  for (V v = 0; v < n; ++v) {
+    x[static_cast<std::size_t>(v)] = rng.uniform_real();
+    y[static_cast<std::size_t>(v)] = rng.uniform_real();
+  }
+  EdgeList expect;
+  for (V u = 0; u < n; ++u) {
+    for (V v = u + 1; v < n; ++v) {
+      const double dx = x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+      const double dy = y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)];
+      if (dx * dx + dy * dy <= r * r) expect.emplace_back(u, v);
+    }
+  }
+  EXPECT_EQ(g.edges(), expect);
+}
+
+TEST(Generators, GnpEdgeCountIsPlausible) {
+  Graph g = random_gnp(100, 0.1, 17);
+  // Mean ~495, sd ~21; allow 6 sigma.
+  EXPECT_GT(g.num_edges(), 495 - 130);
+  EXPECT_LT(g.num_edges(), 495 + 130);
+}
+
+}  // namespace
+}  // namespace dvc

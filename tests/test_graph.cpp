@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/graph.hpp"
+#include "graph/subgraph.hpp"
+
+namespace dvc {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g = Graph::from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+}
+
+TEST(Graph, DedupesAndDropsSelfLoops) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_EQ(g.degree(3), 0);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoints) {
+  EXPECT_THROW(Graph::from_edges(2, {{0, 2}}), precondition_error);
+  EXPECT_THROW(Graph::from_edges(2, {{-1, 0}}), precondition_error);
+}
+
+TEST(Graph, AdjacencySortedAndQueryable) {
+  Graph g = Graph::from_edges(5, {{3, 1}, {3, 0}, {3, 4}, {3, 2}});
+  const auto nb = g.neighbors(3);
+  ASSERT_EQ(nb.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.port_of(3, 2), 2);
+  EXPECT_EQ(g.port_of(3, 3), -1);
+}
+
+TEST(Graph, MirrorSlotsAreInvolutive) {
+  Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 4}, {4, 5}});
+  for (std::int64_t s = 0; s < g.num_slots(); ++s) {
+    const std::int64_t m = g.mirror_slot(s);
+    EXPECT_EQ(g.mirror_slot(m), s);
+    EXPECT_NE(g.slot_owner(s), g.slot_owner(m));
+    // Slot (v, p) points at neighbor u; the mirror is owned by u and points
+    // back at v.
+    const V v = g.slot_owner(s);
+    const int p = g.slot_port(s);
+    EXPECT_EQ(g.slot_owner(m), g.neighbor(v, p));
+    EXPECT_EQ(g.neighbor(g.slot_owner(m), g.slot_port(m)), v);
+  }
+}
+
+TEST(Graph, EdgesRoundTrip) {
+  EdgeList edges{{0, 1}, {1, 2}, {0, 2}, {2, 3}};
+  Graph g = Graph::from_edges(4, edges);
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(g.edges(), edges);  // edges() emits sorted (u, v), u < v
+}
+
+TEST(Graph, AverageDegree) {
+  Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_DOUBLE_EQ(g.average_degree(), 1.5);
+}
+
+TEST(Subgraph, InducedKeepsInternalEdgesOnly) {
+  Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}});
+  const std::vector<V> verts{0, 1, 2};
+  Induced sub = induced_subgraph(g, verts);
+  EXPECT_EQ(sub.graph.num_vertices(), 3);
+  EXPECT_EQ(sub.graph.num_edges(), 2);  // 0-1, 1-2 (edge 4-0 leaves the set)
+  EXPECT_EQ(sub.to_parent, verts);
+}
+
+TEST(Subgraph, ColorClassSubgraphsPartitionVertices) {
+  Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  Coloring c{0, 1, 0, 1, 0, 1};
+  const auto classes = color_class_subgraphs(g, c);
+  ASSERT_EQ(classes.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& cls : classes) total += cls.to_parent.size();
+  EXPECT_EQ(total, 6u);
+  // A legal 2-coloring of a path: classes are independent sets.
+  EXPECT_EQ(classes[0].graph.num_edges(), 0);
+  EXPECT_EQ(classes[1].graph.num_edges(), 0);
+}
+
+}  // namespace
+}  // namespace dvc

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace dvc {
+namespace {
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  Graph g = planted_arboricity(200, 3, 1);
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(GraphIo, DimacsRoundTrip) {
+  Graph g = random_gnm(100, 300, 2);
+  std::stringstream ss;
+  write_dimacs(ss, g);
+  Graph h = read_dimacs(ss);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(GraphIo, DimacsSkipsCommentsAndBlankLines) {
+  std::stringstream ss(
+      "c a comment\n"
+      "\n"
+      "p edge 3 2\n"
+      "c another comment\n"
+      "e 1 2\n"
+      "e 2 3\n");
+  Graph g = read_dimacs(ss);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(GraphIo, DimacsRejectsMalformedInput) {
+  {
+    std::stringstream ss("e 1 2\n");  // edge before header
+    EXPECT_THROW(read_dimacs(ss), precondition_error);
+  }
+  {
+    std::stringstream ss("p edge 2 1\ne 1 5\n");  // endpoint out of range
+    EXPECT_THROW(read_dimacs(ss), precondition_error);
+  }
+  {
+    std::stringstream ss("c only comments\n");
+    EXPECT_THROW(read_dimacs(ss), precondition_error);
+  }
+}
+
+TEST(GraphIo, EdgeListRejectsTruncation) {
+  std::stringstream ss("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), precondition_error);
+}
+
+TEST(GraphIo, EmptyGraphRoundTrips) {
+  Graph g = Graph::from_edges(5, {});
+  std::stringstream ss;
+  write_edge_list(ss, g);
+  Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.num_vertices(), 5);
+  EXPECT_EQ(h.num_edges(), 0);
+}
+
+TEST(GraphIo, ColoringOutputFormat) {
+  std::stringstream ss;
+  write_coloring(ss, Coloring{2, 0, 1});
+  EXPECT_EQ(ss.str(), "v 1 2\nv 2 0\nv 3 1\n");
+}
+
+}  // namespace
+}  // namespace dvc

@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "baselines/linial_reduction.hpp"
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+
+namespace dvc {
+namespace {
+
+TEST(LinialReduction, ProductGraphStructure) {
+  Graph p = path_graph(3);  // Delta = 2, palette = 3
+  Graph prod = mis_coloring_product(p, 3);
+  EXPECT_EQ(prod.num_vertices(), 9);
+  // Edges: 3 cliques of 3 (=9) + 2 edges x 3 colors (=6).
+  EXPECT_EQ(prod.num_edges(), 15);
+  // (v, c) adjacent to (v, c') and to (u, c) but not (u, c').
+  EXPECT_TRUE(prod.has_edge(0, 1));   // (0,0)-(0,1)
+  EXPECT_TRUE(prod.has_edge(0, 3));   // (0,0)-(1,0)
+  EXPECT_FALSE(prod.has_edge(0, 4));  // (0,0)-(1,1)
+  EXPECT_FALSE(prod.has_edge(0, 6));  // (0,0)-(2,0): not adjacent in the path
+}
+
+TEST(LinialReduction, YieldsLegalDeltaPlusOneColoring) {
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    Graph g = random_gnm(200, 500, seed);
+    const RandColoringResult res = coloring_via_mis_reduction(g, seed);
+    EXPECT_TRUE(is_legal_coloring(g, res.colors));
+    EXPECT_EQ(res.palette, g.max_degree() + 1);
+    EXPECT_LT(palette_span(res.colors), res.palette + 1);
+  }
+}
+
+TEST(LinialReduction, WorksOnCliques) {
+  // K_6: palette 6, coloring must use all 6 colors.
+  Graph k = complete_graph(6);
+  const RandColoringResult res = coloring_via_mis_reduction(k, 3);
+  EXPECT_TRUE(is_legal_coloring(k, res.colors));
+  EXPECT_EQ(distinct_colors(res.colors), 6);
+}
+
+TEST(LinialReduction, RejectsHugeProducts) {
+  Graph s = star_graph(1 << 14);  // Delta+1 = 2^14: product would be 2^28
+  EXPECT_THROW(coloring_via_mis_reduction(s, 1), precondition_error);
+}
+
+TEST(LinialReduction, RoundsMatchMisOnProduct) {
+  // The reduction's round count is exactly the MIS round count -- Linial's
+  // "within the same time".
+  Graph g = random_near_regular(128, 4, 7);
+  const RandColoringResult res = coloring_via_mis_reduction(g, 7);
+  EXPECT_GT(res.stats.rounds, 0);
+  EXPECT_LE(res.stats.rounds, 64);  // O(log of product size) w.h.p.
+}
+
+}  // namespace
+}  // namespace dvc

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "fields/poly_family.hpp"
+
+namespace dvc {
+namespace {
+
+TEST(PolyFamily, EvalMatchesHornerByHand) {
+  // x = 23, q = 5: digits 3, 4 (23 = 3 + 4*5); f(alpha) = 3 + 4*alpha mod 5.
+  for (std::int64_t alpha = 0; alpha < 5; ++alpha) {
+    EXPECT_EQ(poly_eval(23, 5, 1, alpha), (3 + 4 * alpha) % 5);
+  }
+}
+
+TEST(PolyFamily, EvalRejectsOverflowingColor) {
+  // q=3, d=1 encodes colors < 9.
+  EXPECT_NO_THROW(poly_eval(8, 3, 1, 0));
+  EXPECT_THROW(poly_eval(9, 3, 1, 0), precondition_error);
+}
+
+TEST(PolyFamily, DistinctColorsAgreeOnAtMostDPoints) {
+  const std::int64_t q = 11;
+  const int d = 2;
+  for (std::int64_t x = 0; x < 40; ++x) {
+    for (std::int64_t y = x + 1; y < 40; ++y) {
+      int agreements = 0;
+      for (std::int64_t alpha = 0; alpha < q; ++alpha) {
+        agreements += poly_eval(x, q, d, alpha) == poly_eval(y, q, d, alpha);
+      }
+      EXPECT_LE(agreements, d) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(PolyFamily, ChooseFieldSatisfiesConstraints) {
+  for (const std::int64_t M : {100L, 10000L, 1000000L}) {
+    for (const std::int64_t D : {4L, 16L, 64L}) {
+      for (const int beta : {0, 1, 3}) {
+        const FieldChoice fc = choose_field(M, D, beta);
+        EXPECT_TRUE(is_prime(static_cast<std::uint64_t>(fc.q)));
+        // Encodability: q^(d+1) >= M.
+        EXPECT_GE(ipow_saturating(static_cast<std::uint64_t>(fc.q), fc.d + 1,
+                                  ~std::uint64_t{0}),
+                  static_cast<std::uint64_t>(M));
+        // Existence: q * (beta+1) > d * D.
+        EXPECT_GT(fc.q * (beta + 1), static_cast<std::int64_t>(fc.d) * D);
+      }
+    }
+  }
+}
+
+TEST(PolyFamily, LinialScheduleConvergesToQuadraticPalette) {
+  // B = 0 (legal Linial): the fixed point is O(D^2).
+  const auto schedule = build_recolor_schedule(1 << 20, 16, 0);
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_LE(schedule.size(), 6u);  // ~log* of 2^20
+  const std::int64_t final_palette = schedule_final_palette(schedule, 1 << 20);
+  EXPECT_LE(final_palette, 16 * 16 * 16);  // well below, but cap loosely
+  EXPECT_GE(final_palette, 17 * 17);       // cannot beat (D+1)^2 here
+}
+
+TEST(PolyFamily, DefectBudgetShrinksPalette) {
+  const std::int64_t M0 = 1 << 17;
+  const std::int64_t D = 64;
+  const std::int64_t legal = schedule_final_palette(build_recolor_schedule(M0, D, 0), M0);
+  const std::int64_t defective =
+      schedule_final_palette(build_recolor_schedule(M0, D, 16), M0);
+  EXPECT_LT(defective, legal);  // defect buys a smaller palette (Lemma 2.1)
+}
+
+TEST(PolyFamily, ScheduleBudgetsSumWithinTotal) {
+  for (const int B : {0, 1, 5, 20}) {
+    const auto schedule = build_recolor_schedule(1 << 18, 48, B);
+    int used = 0;
+    for (const auto& st : schedule) {
+      used += st.defect_increment;
+      EXPECT_GE(st.defect_increment, 0);
+    }
+    EXPECT_LE(used, B);
+  }
+}
+
+TEST(PolyFamily, SchedulePalettesChain) {
+  const auto schedule = build_recolor_schedule(100000, 32, 8);
+  std::int64_t M = 100000;
+  for (const auto& st : schedule) {
+    EXPECT_EQ(st.palette_before, M);
+    EXPECT_LT(st.q * st.q, M);  // every step strictly shrinks
+    M = st.q * st.q;
+  }
+}
+
+TEST(PolyFamily, EmptyScheduleWhenAlreadySmall) {
+  EXPECT_TRUE(build_recolor_schedule(2, 1000, 0).empty());
+  EXPECT_EQ(schedule_final_palette({}, 17), 17);
+}
+
+// Defect-budget sweep: the final palette is O((D/(B+1))^2)-ish; check
+// monotonicity in B.
+class BudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BudgetSweep, MonotoneInBudget) {
+  const int B = GetParam();
+  const std::int64_t D = 96;
+  const std::int64_t with_b =
+      schedule_final_palette(build_recolor_schedule(1 << 16, D, B), 1 << 16);
+  const std::int64_t with_2b =
+      schedule_final_palette(build_recolor_schedule(1 << 16, D, 2 * B), 1 << 16);
+  EXPECT_LE(with_2b, with_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep, ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace dvc
