@@ -1,11 +1,14 @@
 // E11 -- the head-to-head grid (the paper's Section 1.2 state-of-the-art
 // comparison as a table): every preset of this library against every
-// baseline on a common workload.
+// baseline on a common workload. Each row is also appended to
+// BENCH_comparison.json (family, n, Delta, colors, rounds, messages,
+// wall-ms) so the trajectory is tracked across PRs.
 //
 // Paper prediction: reading each row block, the BE10 presets dominate the
 // deterministic baselines -- fewer colors than Linial at polylog cost,
 // asymptotically fewer rounds than BE08 at comparable colors -- while the
 // randomized baselines match rounds but lose determinism.
+#include <chrono>
 #include <iostream>
 #include <string>
 #include <tuple>
@@ -14,6 +17,7 @@
 #include "baselines/greedy.hpp"
 #include "baselines/luby.hpp"
 #include "baselines/rand_coloring.hpp"
+#include "bench_json.hpp"
 #include "common/table.hpp"
 #include "core/api.hpp"
 #include "decomp/orientations.hpp"
@@ -23,46 +27,73 @@
 
 int main() {
   using namespace dvc;
+  using benchio::Clock;
+  using benchio::ms_since;
   std::cout << "E11: all algorithms on a common workload grid\n\n";
-  std::vector<std::tuple<std::string, int, Graph>> workloads;
-  workloads.emplace_back("planted a=8, n=2^14", 8, planted_arboricity(1 << 14, 8, 1));
-  workloads.emplace_back("BA k=6, n=2^14", 6, barabasi_albert(1 << 14, 6, 2));
-  workloads.emplace_back("near-regular d=16, n=2^14", 16,
+  benchio::JsonSink sink("comparison");
+  std::vector<std::tuple<std::string, std::string, int, Graph>> workloads;
+  workloads.emplace_back("planted a=8, n=2^14", "planted_arboricity", 8,
+                         planted_arboricity(1 << 14, 8, 1));
+  workloads.emplace_back("BA k=6, n=2^14", "barabasi_albert", 6,
+                         barabasi_albert(1 << 14, 6, 2));
+  workloads.emplace_back("near-regular d=16, n=2^14", "near_regular", 16,
                          random_near_regular(1 << 14, 16, 3));
-  for (const auto& [label, a, g] : workloads) {
+  for (const auto& [label, family, a, g] : workloads) {
     std::cout << "== workload: " << label << " (Delta=" << g.max_degree()
               << ") ==\n";
     Table table({"algorithm", "deterministic", "colors", "rounds", "messages"});
+    auto record = [&](const std::string& algorithm, const char* deterministic,
+                      std::int64_t colors, int rounds, std::uint64_t messages,
+                      double wall_ms) {
+      table.row(algorithm, deterministic, colors, rounds, messages);
+      sink.add(benchio::JsonRecord()
+                   .field("bench", "comparison")
+                   .field("algorithm", algorithm)
+                   .field("deterministic", deterministic)
+                   .field("family", family)
+                   .field("n", static_cast<std::int64_t>(g.num_vertices()))
+                   .field("delta", g.max_degree())
+                   .field("colors", colors)
+                   .field("rounds", rounds)
+                   .field("messages", messages)
+                   .field("wall_ms", wall_ms));
+    };
     for (const Preset preset :
          {Preset::LinearColors, Preset::NearLinearColors, Preset::PolylogTime,
           Preset::TradeoffAT}) {
+      const auto t0 = Clock::now();
       const LegalColoringResult res = color_graph(g, a, preset);
-      table.row(preset_name(preset), "yes", res.distinct, res.total.rounds,
-                res.total.messages);
+      record(preset_name(preset), "yes", res.distinct, res.total.rounds,
+             res.total.messages, ms_since(t0));
     }
     {
+      const auto t0 = Clock::now();
       const DefectiveResult res = linial_coloring(g, g.max_degree());
-      table.row("linial87 O(Delta^2)", "yes", distinct_colors(res.colors),
-                res.stats.rounds, res.stats.messages);
+      record("linial87 O(Delta^2)", "yes", distinct_colors(res.colors),
+             res.stats.rounds, res.stats.messages, ms_since(t0));
     }
     {
       // BE08 Lemma 2.2(1).
+      const auto t0 = Clock::now();
       const CompleteOrientationResult ori = complete_orientation(g, a);
       const ReduceResult greedy =
           greedy_by_orientation(g, ori.sigma, ori.hp.threshold + 1);
       sim::RunStats total = ori.total;
       total += greedy.stats;
-      table.row("be08 (2+eps)a+1 colors", "yes", distinct_colors(greedy.colors),
-                total.rounds, total.messages);
+      record("be08 (2+eps)a+1 colors", "yes", distinct_colors(greedy.colors),
+             total.rounds, total.messages, ms_since(t0));
     }
     {
+      const auto t0 = Clock::now();
       const RandColoringResult res = randomized_delta_plus_one(g, 7);
-      table.row("randomized Delta+1", "no", distinct_colors(res.colors),
-                res.stats.rounds, res.stats.messages);
+      record("randomized Delta+1", "no", distinct_colors(res.colors),
+             res.stats.rounds, res.stats.messages, ms_since(t0));
     }
     {
+      const auto t0 = Clock::now();
       const GreedyResult res = greedy_coloring(g, GreedyOrder::ByDegeneracy);
-      table.row("greedy (centralized ref)", "-", res.colors_used, 0, 0);
+      record("greedy (centralized ref)", "-", res.colors_used, 0, 0,
+             ms_since(t0));
     }
     table.print(std::cout);
     std::cout << "\n";

@@ -59,9 +59,12 @@ class TrialColoringProgram : public sim::VertexProgram {
  private:
   void propose(sim::Ctx& ctx) {
     const V v = ctx.vertex();
-    // Available = palette minus colors finalized by neighbors.
-    avail_.clear();
-    std::vector<std::int64_t> used;
+    // Available = palette minus colors finalized by neighbors. Both work
+    // lists live in per-shard engine scratch (allocation- and race-free).
+    auto& avail = ctx.scratch(0);
+    auto& used = ctx.scratch(1);
+    avail.clear();
+    used.clear();
     const int deg = ctx.degree();
     for (int p = 0; p < deg; ++p) {
       const std::int64_t c = taken_[static_cast<std::size_t>(g_->slot(v, p))];
@@ -70,14 +73,14 @@ class TrialColoringProgram : public sim::VertexProgram {
     std::sort(used.begin(), used.end());
     used.erase(std::unique(used.begin(), used.end()), used.end());
     for (std::int64_t c = 0; c < palette_; ++c) {
-      if (!std::binary_search(used.begin(), used.end(), c)) avail_.push_back(c);
+      if (!std::binary_search(used.begin(), used.end(), c)) avail.push_back(c);
     }
-    DVC_ENSURE(!avail_.empty(), "palette Delta+1 cannot be exhausted");
+    DVC_ENSURE(!avail.empty(), "palette Delta+1 cannot be exhausted");
     std::uint64_t state =
         seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(ctx.id())) ^
         (0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(ctx.round() + 1));
     proposal_[static_cast<std::size_t>(v)] =
-        avail_[static_cast<std::size_t>(splitmix64(state) % avail_.size())];
+        avail[static_cast<std::size_t>(splitmix64(state) % avail.size())];
     ctx.broadcast({kTry, proposal_[static_cast<std::size_t>(v)]});
   }
 
@@ -87,7 +90,6 @@ class TrialColoringProgram : public sim::VertexProgram {
   Coloring colors_;
   std::vector<std::int64_t> taken_;     // per-slot finalized neighbor color
   std::vector<std::int64_t> proposal_;
-  std::vector<std::int64_t> avail_;
 };
 
 }  // namespace

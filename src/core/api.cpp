@@ -24,6 +24,7 @@ std::string preset_name(Preset p) {
 LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset preset,
                                 const Knobs& knobs) {
   DVC_REQUIRE(arboricity_bound >= 1, "arboricity bound must be >= 1");
+  const sim::ScopedDefaultShards shard_guard(knobs.shards);
   switch (preset) {
     case Preset::LinearColors:
       return legal_coloring_linear(g, arboricity_bound, knobs.mu, knobs.eps);
@@ -51,6 +52,7 @@ LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset pre
 }
 
 MisResult mis_graph(const Graph& g, int arboricity_bound, const Knobs& knobs) {
+  const sim::ScopedDefaultShards shard_guard(knobs.shards);
   return deterministic_mis(g, arboricity_bound, knobs.mu, knobs.eps);
 }
 

@@ -36,6 +36,9 @@ struct Knobs {
   int t = 2;         // TradeoffAT
   int f = 0;         // FastSubquadratic class arboricity (0: ~sqrt(a))
   double eps = 0.25; // H-partition slack
+  /// Executor shards for every simulated phase (0 = keep thread default).
+  /// Results are bit-identical for any value; only wall-clock changes.
+  int shards = 0;
 };
 
 std::string preset_name(Preset p);

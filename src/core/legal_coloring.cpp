@@ -126,12 +126,14 @@ LegalColoringResult legal_coloring(const Graph& g, int arboricity_bound, int p,
         for (const sim::MsgView& msg : inbox) {
           if (msg.data[0] != mine) continue;
           const std::int64_t ul = msg.data[1], uc = msg.data[2];
+          // Single-slot writes keep the exchange race-free under the
+          // sharded executor; the neighbor sets the mirror side itself.
           if (ul > l || (ul == l && uc > c)) {
-            sigma_->orient_out(v, msg.port);
+            sigma_->orient_out_local(v, msg.port);
           } else {
             DVC_ENSURE(ul != l || uc != c,
                        "layer coloring must be legal inside layers");
-            sigma_->orient_in(v, msg.port);
+            sigma_->orient_in_local(v, msg.port);
           }
         }
         ctx.halt();

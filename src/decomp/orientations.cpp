@@ -37,10 +37,13 @@ class OrientExchangeProgram : public sim::VertexProgram {
       if (msg.data[0] != mine) continue;  // cross-group: stays unoriented
       const std::int64_t u1 = msg.data[1];
       const std::int64_t u2 = msg.data[2];
+      // Single-slot writes: the neighbor runs the mirror comparison in this
+      // same round and sets its own side, which keeps the two slots
+      // consistent without writing across shard boundaries.
       if (u1 > k1 || (u1 == k1 && u2 > k2)) {
-        sigma_->orient_out(v, msg.port);
+        sigma_->orient_out_local(v, msg.port);
       } else if (u1 < k1 || (u1 == k1 && u2 < k2)) {
-        sigma_->orient_in(v, msg.port);
+        sigma_->orient_in_local(v, msg.port);
       }
       // Equal (key1, key2): unoriented.
     }

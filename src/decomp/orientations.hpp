@@ -1,5 +1,11 @@
 // The paper's orientation procedures.
 //
+// Module ownership note: THIS file (src/decomp/) owns the *distributed
+// procedures* that construct orientations (Lemma 2.4, Lemma 3.3,
+// Algorithm 1). The similarly named src/graph/orientation.hpp owns the
+// Orientation *data structure* they populate. See DESIGN.md, "Orientation
+// naming".
+//
 //  * orient_by_ids(): Lemma 2.4 -- complete (within groups) acyclic
 //    orientation with out-degree floor((2+eps)*a): H-partition, then orient
 //    every same-group edge towards the greater (H-index, id) pair. Runs in

@@ -41,13 +41,15 @@ class RecolorProgram : public sim::VertexProgram {
     const std::int64_t mine = group_of(v);
     const std::int64_t x = colors_[static_cast<std::size_t>(v)];
 
-    // Gather relevant neighbor colors (with multiplicity).
-    relevant_.clear();
+    // Gather relevant neighbor colors (with multiplicity) into per-shard
+    // engine scratch (allocation- and race-free).
+    auto& relevant = ctx.scratch();
+    relevant.clear();
     for (const sim::MsgView& msg : inbox) {
       if (msg.data[0] != mine) continue;
       if (sigma_ && !sigma_->is_out(v, msg.port)) continue;
       if (msg.data[1] == x) continue;  // same color never separates; budgeted
-      relevant_.push_back(msg.data[1]);
+      relevant.push_back(msg.data[1]);
     }
 
     // Find the smallest alpha with at most st.defect_increment collisions.
@@ -55,7 +57,7 @@ class RecolorProgram : public sim::VertexProgram {
     for (std::int64_t alpha = 0; alpha < st.q; ++alpha) {
       const std::int64_t fx = poly_eval(x, st.q, st.d, alpha);
       int collisions = 0;
-      for (const std::int64_t y : relevant_) {
+      for (const std::int64_t y : relevant) {
         collisions += poly_eval(y, st.q, st.d, alpha) == fx;
         if (collisions > st.defect_increment) break;
       }
@@ -88,7 +90,6 @@ class RecolorProgram : public sim::VertexProgram {
   const std::vector<std::int64_t>* groups_;
   const Orientation* sigma_;
   Coloring colors_;
-  std::vector<std::int64_t> relevant_;
 };
 
 DefectiveResult run_recolor(const Graph& g, std::int64_t relevant_degree_bound,

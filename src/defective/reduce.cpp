@@ -118,16 +118,18 @@ class NaiveReduceProgram : public sim::VertexProgram {
     const std::int64_t handled = palette_ - ctx.round();
     const std::int64_t own = colors_[static_cast<std::size_t>(v)];
     if (own == handled) {
-      // Pick the smallest free color below target.
-      taken_.clear();
+      // Pick the smallest free color below target. Per-shard engine scratch:
+      // no allocation, and no cross-vertex sharing under sharded execution.
+      auto& taken = ctx.scratch();
+      taken.clear();
       const int deg = g_->degree(v);
       for (int p = 0; p < deg; ++p) {
         const std::int64_t c = port_colors_[static_cast<std::size_t>(g_->slot(v, p))];
-        if (c >= 0) taken_.push_back(c);
+        if (c >= 0) taken.push_back(c);
       }
-      std::sort(taken_.begin(), taken_.end());
+      std::sort(taken.begin(), taken.end());
       std::int64_t pick = 0;
-      for (const std::int64_t c : taken_) {
+      for (const std::int64_t c : taken) {
         if (c == pick) ++pick;
         if (c > pick) break;
       }
@@ -156,7 +158,6 @@ class NaiveReduceProgram : public sim::VertexProgram {
   std::int64_t target_;
   const std::vector<std::int64_t>* groups_;
   std::vector<std::int64_t> port_colors_;
-  std::vector<std::int64_t> taken_;
 };
 
 // Kuhn-Wattenhofer: phases of D+1 rounds, each phase halves the palette by
@@ -217,16 +218,17 @@ class KwReduceProgram : public sim::VertexProgram {
     if (local == handled_local) {
       // Recolor into [bucket*W, bucket*W + half_): smallest local color not
       // used by same-group neighbors currently in my bucket.
-      taken_.clear();
+      auto& taken = ctx.scratch();
+      taken.clear();
       const int deg = g_->degree(v);
       for (int p = 0; p < deg; ++p) {
         const std::int64_t c = port_colors_[static_cast<std::size_t>(g_->slot(v, p))];
         if (c < 0 || c / bucket_width_ != bucket) continue;
-        taken_.push_back(c % bucket_width_);
+        taken.push_back(c % bucket_width_);
       }
-      std::sort(taken_.begin(), taken_.end());
+      std::sort(taken.begin(), taken.end());
       std::int64_t pick = 0;
-      for (const std::int64_t c : taken_) {
+      for (const std::int64_t c : taken) {
         if (c == pick) ++pick;
         if (c > pick) break;
       }
@@ -272,7 +274,6 @@ class KwReduceProgram : public sim::VertexProgram {
   std::int64_t half_;
   std::vector<std::int64_t> palettes_;
   std::vector<std::int64_t> port_colors_;
-  std::vector<std::int64_t> taken_;
 };
 
 }  // namespace

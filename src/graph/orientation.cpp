@@ -24,6 +24,16 @@ void Orientation::orient_in(V v, int port) {
       static_cast<std::int8_t>(EdgeDir::Out);
 }
 
+void Orientation::orient_out_local(V v, int port) {
+  dir_[static_cast<std::size_t>(g_->slot(v, port))] =
+      static_cast<std::int8_t>(EdgeDir::Out);
+}
+
+void Orientation::orient_in_local(V v, int port) {
+  dir_[static_cast<std::size_t>(g_->slot(v, port))] =
+      static_cast<std::int8_t>(EdgeDir::In);
+}
+
 void Orientation::clear(V v, int port) {
   const std::int64_t s = g_->slot(v, port);
   dir_[static_cast<std::size_t>(s)] = 0;

@@ -1,5 +1,12 @@
 // Partial and complete edge orientations (Section 2.1 of the paper).
 //
+// Module ownership note: THIS file (src/graph/) owns the Orientation *data
+// structure* -- the per-slot direction store and its centralized queries
+// (degrees, acyclicity, topological order, lengths). The similarly named
+// src/decomp/orientations.hpp owns the paper's *distributed procedures*
+// that construct orientations (orient_by_ids, Complete-/Partial-
+// Orientation). See DESIGN.md, "Orientation naming".
+//
 // An orientation assigns each undirected edge a direction (or leaves it
 // unoriented, for partial orientations). Key quantities, matching the
 // paper's definitions:
@@ -33,6 +40,13 @@ class Orientation {
   void orient_out(V v, int port);
   /// Orients the edge at (v, port) towards v.
   void orient_in(V v, int port);
+  /// Single-slot variants: write only v's own slot, leaving the mirror to
+  /// the neighbor. Used by symmetric LOCAL programs where both endpoints of
+  /// an edge decide its direction in the same round -- under the engine's
+  /// sharded executor each endpoint may live on a different shard, so a
+  /// vertex must never write a slot it does not own.
+  void orient_out_local(V v, int port);
+  void orient_in_local(V v, int port);
   /// Clears the orientation of the edge at (v, port).
   void clear(V v, int port);
 

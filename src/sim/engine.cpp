@@ -1,64 +1,232 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "common/check.hpp"
 #include "common/math.hpp"
 
 namespace dvc::sim {
 
+thread_local int Engine::default_shards_{1};
+
+void Engine::set_default_shards(int shards) {
+  default_shards_ = shards < 1 ? 1 : shards;
+}
+
+int Engine::default_shards() { return default_shards_; }
+
 int Ctx::degree() const { return engine_->graph().degree(v_); }
 int Ctx::round() const { return engine_->round_; }
 
-void Ctx::send(int port, std::vector<std::int64_t> payload) {
-  engine_->do_send(v_, port, std::move(payload));
+void Ctx::send(int port, std::span<const std::int64_t> payload) {
+  engine_->do_send(shard_, v_, port, payload);
 }
 
-void Ctx::broadcast(const std::vector<std::int64_t>& payload) {
+void Ctx::broadcast(std::span<const std::int64_t> payload) {
   const int deg = degree();
-  for (int p = 0; p < deg; ++p) engine_->do_send(v_, p, payload);
+  for (int p = 0; p < deg; ++p) engine_->do_send(shard_, v_, p, payload);
 }
 
-void Ctx::halt() { engine_->do_halt(v_); }
+void Ctx::halt() { engine_->do_halt(shard_, v_); }
 
-Engine::Engine(const Graph& g) : g_(&g) {}
+std::vector<std::int64_t>& Ctx::scratch(int which) {
+  DVC_REQUIRE(which >= 0 && which < kNumScratch, "scratch index out of range");
+  return engine_->shards_[static_cast<std::size_t>(shard_)]
+      .scratch[static_cast<std::size_t>(which)];
+}
 
-void Engine::do_send(V from, int port, std::vector<std::int64_t> payload) {
+Engine::Engine(const Graph& g, int shards) : g_(&g) {
+  const V n = g.num_vertices();
+  std::int64_t s = shards > 0 ? shards : default_shards();
+  if (s < 1) s = 1;
+  if (n > 0 && s > n) s = n;
+  if (n == 0) s = 1;
+  num_shards_ = static_cast<int>(s);
+  chunk_ = n > 0 ? static_cast<V>((n + s - 1) / s) : 1;
+  shards_.resize(static_cast<std::size_t>(num_shards_));
+  for (int i = 0; i < num_shards_; ++i) {
+    shards_[static_cast<std::size_t>(i)].first = static_cast<V>(
+        std::min<std::int64_t>(n, std::int64_t{i} * chunk_));
+    shards_[static_cast<std::size_t>(i)].last = static_cast<V>(
+        std::min<std::int64_t>(n, (std::int64_t{i} + 1) * chunk_));
+  }
+}
+
+void Engine::do_send(int shard, V from, int port,
+                     std::span<const std::int64_t> payload) {
   DVC_REQUIRE(port >= 0 && port < g_->degree(from), "send port out of range");
-  const std::int64_t peer_slot = g_->mirror_slot(g_->slot(from, port));
-  Packet pkt;
-  pkt.receiver = g_->slot_owner(peer_slot);
-  pkt.port = g_->slot_port(peer_slot);
-  pkt.data = std::move(payload);
-  stats_.messages += 1;
-  stats_.words += pkt.data.size();
-  outgoing_.push_back(std::move(pkt));
+  Arena& out = arenas_[1 - in_idx_];
+  const auto s = static_cast<std::size_t>(g_->mirror_slot(g_->slot(from, port)));
+  DVC_ENSURE(out.epoch[s] != round_,
+             "at most one message per edge-direction per round (LOCAL model)");
+  out.epoch[s] = round_;
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  auto& words = out.words[static_cast<std::size_t>(shard)];
+  DVC_ENSURE(words.size() + payload.size() <= 0xffffffffu,
+             "a shard's per-round payload exceeds the 32-bit arena offsets");
+  out.off[s] = static_cast<std::uint32_t>(words.size());
+  out.len[s] = static_cast<std::uint32_t>(payload.size());
+  words.insert(words.end(), payload.begin(), payload.end());
+  sh.messages += 1;
+  sh.words += payload.size();
 }
 
-void Engine::do_halt(V v) {
-  if (!halted_[static_cast<std::size_t>(v)]) {
-    halted_[static_cast<std::size_t>(v)] = 1;
-    --live_;
+void Engine::do_halt(int shard, V v) {
+  auto& h = halted_[static_cast<std::size_t>(v)];
+  if (!h) {
+    h = 1;
+    ++shards_[static_cast<std::size_t>(shard)].newly_halted;
+  }
+}
+
+void Engine::run_shard_phase(int shard, VertexProgram& program, bool is_begin) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  try {
+    if (is_begin) {
+      for (V v = sh.first; v < sh.last; ++v) {
+        Ctx ctx(*this, shard, v);
+        program.begin(ctx);
+      }
+      return;
+    }
+    const Arena& in = arenas_[in_idx_];
+    const std::int32_t want = round_ - 1;
+    // Single-shard fast path: every payload lives in the one word buffer.
+    const std::vector<std::int64_t>* sole_words =
+        num_shards_ == 1 ? in.words.data() : nullptr;
+    Inbox& inbox = sh.inbox;
+    for (V v = sh.first; v < sh.last; ++v) {
+      if (halted_[static_cast<std::size_t>(v)]) continue;
+      inbox.msgs_.clear();
+      const int deg = g_->degree(v);
+      const std::int64_t base = g_->slot(v, 0);
+      for (int p = 0; p < deg; ++p) {
+        const auto s = static_cast<std::size_t>(base + p);
+        if (in.epoch[s] != want) continue;
+        const auto& words =
+            sole_words
+                ? *sole_words
+                : in.words[static_cast<std::size_t>(shard_of(g_->neighbor(v, p)))];
+        inbox.msgs_.push_back(
+            MsgView{p, std::span<const std::int64_t>(
+                           words.data() + in.off[s], in.len[s])});
+      }
+      Ctx ctx(*this, shard, v);
+      program.step(ctx, inbox);
+    }
+  } catch (...) {
+    sh.error = std::current_exception();
+  }
+}
+
+void Engine::merge_shards() {
+  // Canonical shard order keeps the fold deterministic for any shard count.
+  for (Shard& sh : shards_) {
+    stats_.messages += sh.messages;
+    stats_.words += sh.words;
+    live_ -= sh.newly_halted;
+    sh.messages = 0;
+    sh.words = 0;
+    sh.newly_halted = 0;
+  }
+  for (Shard& sh : shards_) {
+    if (sh.error) {
+      std::exception_ptr error = sh.error;
+      sh.error = nullptr;
+      std::rethrow_exception(error);
+    }
   }
 }
 
 RunStats Engine::run(VertexProgram& program, int max_rounds) {
   const V n = g_->num_vertices();
+  const auto slots = static_cast<std::size_t>(g_->num_slots());
   halted_.assign(static_cast<std::size_t>(n), 0);
   live_ = n;
   round_ = 0;
   stats_ = RunStats{};
-  outgoing_.clear();
-
-  for (V v = 0; v < n; ++v) {
-    Ctx ctx(*this, v);
-    program.begin(ctx);
+  stats_.active_per_round.reserve(
+      static_cast<std::size_t>(std::clamp(max_rounds, 0, 1 << 12)));
+  for (Arena& arena : arenas_) {
+    arena.epoch.assign(slots, -1);
+    arena.off.assign(slots, 0);
+    arena.len.assign(slots, 0);
+    arena.words.resize(static_cast<std::size_t>(num_shards_));
+    for (auto& words : arena.words) words.clear();
   }
+  in_idx_ = 0;  // begin (round 0) writes arenas_[1]; round 1 reads it
 
-  // Delivery buffers reused across rounds.
-  std::vector<Packet> in_flight;
-  std::vector<std::int64_t> first(static_cast<std::size_t>(n) + 1, 0);
-  Inbox inbox;
+  // Persistent per-run worker pool: one thread per extra shard, parked on a
+  // condition variable between phases so the round loop itself performs no
+  // thread spawns (and, after warm-up, no allocations at all).
+  struct Pool {
+    Engine& engine;
+    VertexProgram& program;
+    std::mutex mutex;
+    std::condition_variable start_cv, done_cv;
+    std::uint64_t generation = 0;
+    int pending = 0;
+    bool phase_is_begin = false;
+    bool stopping = false;
+    std::vector<std::thread> threads;
+
+    Pool(Engine& e, VertexProgram& p) : engine(e), program(p) {
+      threads.reserve(static_cast<std::size_t>(e.num_shards_ - 1));
+      for (int shard = 1; shard < e.num_shards_; ++shard) {
+        threads.emplace_back([this, shard] {
+          std::uint64_t seen = 0;
+          for (;;) {
+            bool is_begin;
+            {
+              std::unique_lock<std::mutex> lock(mutex);
+              start_cv.wait(lock,
+                            [&] { return stopping || generation != seen; });
+              if (stopping) return;
+              seen = generation;
+              is_begin = phase_is_begin;
+            }
+            engine.run_shard_phase(shard, program, is_begin);
+            {
+              std::lock_guard<std::mutex> lock(mutex);
+              if (--pending == 0) done_cv.notify_one();
+            }
+          }
+        });
+      }
+    }
+
+    ~Pool() {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+      }
+      start_cv.notify_all();
+      for (auto& t : threads) t.join();
+    }
+
+    void run_phase(bool is_begin) {
+      if (threads.empty()) {
+        engine.run_shard_phase(0, program, is_begin);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        phase_is_begin = is_begin;
+        pending = static_cast<int>(threads.size());
+        ++generation;
+      }
+      start_cv.notify_all();
+      engine.run_shard_phase(0, program, is_begin);
+      std::unique_lock<std::mutex> lock(mutex);
+      done_cv.wait(lock, [&] { return pending == 0; });
+    }
+  } pool(*this, program);
+
+  pool.run_phase(/*is_begin=*/true);
+  merge_shards();
 
   while (live_ > 0) {
     DVC_ENSURE(round_ < max_rounds,
@@ -68,37 +236,11 @@ RunStats Engine::run(VertexProgram& program, int max_rounds) {
                    "arboricity bound is below the graph's true value)");
     ++round_;
     stats_.active_per_round.push_back(live_);
-    in_flight.swap(outgoing_);
-    outgoing_.clear();
-
-    // Bucket packets by receiver (counting sort keeps delivery O(#packets)).
-    std::fill(first.begin(), first.end(), 0);
-    for (const Packet& pkt : in_flight) {
-      ++first[static_cast<std::size_t>(pkt.receiver) + 1];
-    }
-    for (V v = 0; v < n; ++v) {
-      first[static_cast<std::size_t>(v) + 1] += first[static_cast<std::size_t>(v)];
-    }
-    std::vector<const Packet*> sorted(in_flight.size());
-    {
-      std::vector<std::int64_t> cursor(first.begin(), first.end() - 1);
-      for (const Packet& pkt : in_flight) {
-        sorted[static_cast<std::size_t>(cursor[static_cast<std::size_t>(pkt.receiver)]++)] =
-            &pkt;
-      }
-    }
-
-    for (V v = 0; v < n; ++v) {
-      if (halted_[static_cast<std::size_t>(v)]) continue;
-      inbox.msgs_.clear();
-      for (std::int64_t i = first[static_cast<std::size_t>(v)];
-           i < first[static_cast<std::size_t>(v) + 1]; ++i) {
-        const Packet& pkt = *sorted[static_cast<std::size_t>(i)];
-        inbox.msgs_.push_back(MsgView{pkt.port, pkt.data});
-      }
-      Ctx ctx(*this, v);
-      program.step(ctx, inbox);
-    }
+    in_idx_ = 1 - in_idx_;
+    for (auto& words : arenas_[1 - in_idx_].words) words.clear();
+    pool.run_phase(/*is_begin=*/false);
+    merge_shards();
+    if (observer_) observer_(round_);
   }
   stats_.rounds = round_;
   return stats_;

@@ -1,0 +1,224 @@
+// Determinism guarantees of the mailbox runtime (DESIGN.md, "Sharded
+// execution"):
+//   1. RunStats and colorings are bit-identical for any shard count.
+//   2. Inbox contents are independent of the order in which a vertex issues
+//      its sends within a round (slot routing).
+//   3. The round loop performs no per-message heap allocations once warm
+//      (verified through a global operator-new counting hook).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation-counting hook. Every allocation in this test binary
+// (including the engine's) bumps the counter; the engine tests below read it
+// per round through Engine::set_round_observer.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace dvc {
+namespace {
+
+bool same_stats(const sim::RunStats& a, const sim::RunStats& b) {
+  return a.rounds == b.rounds && a.messages == b.messages &&
+         a.words == b.words && a.active_per_round == b.active_per_round;
+}
+
+// --- 1. Shard-count invariance across full API presets --------------------
+
+TEST(EngineDeterminism, PresetsAreBitIdenticalAcrossShardCounts) {
+  const Graph g = planted_arboricity(1 << 10, 4, 7);
+  for (const Preset preset : {Preset::LinearColors, Preset::PolylogTime,
+                              Preset::TradeoffAT}) {
+    Knobs knobs;
+    knobs.shards = 1;
+    const LegalColoringResult base = color_graph(g, 4, preset, knobs);
+    for (const int shards : {2, 8}) {
+      knobs.shards = shards;
+      const LegalColoringResult res = color_graph(g, 4, preset, knobs);
+      EXPECT_EQ(res.colors, base.colors)
+          << preset_name(preset) << " colors differ at " << shards << " shards";
+      EXPECT_EQ(res.distinct, base.distinct);
+      EXPECT_TRUE(same_stats(res.total, base.total))
+          << preset_name(preset) << " stats differ at " << shards << " shards";
+      ASSERT_EQ(res.phases.size(), base.phases.size());
+      for (std::size_t i = 0; i < res.phases.size(); ++i) {
+        EXPECT_EQ(res.phases[i].first, base.phases[i].first);
+        EXPECT_TRUE(same_stats(res.phases[i].second, base.phases[i].second))
+            << preset_name(preset) << " phase " << res.phases[i].first
+            << " differs at " << shards << " shards";
+      }
+    }
+  }
+}
+
+TEST(EngineDeterminism, MisIsBitIdenticalAcrossShardCounts) {
+  const Graph g = planted_arboricity(1 << 9, 3, 11);
+  Knobs knobs;
+  knobs.shards = 1;
+  const MisResult base = mis_graph(g, 3, knobs);
+  knobs.shards = 8;
+  const MisResult res = mis_graph(g, 3, knobs);
+  EXPECT_EQ(res.in_mis, base.in_mis);
+  EXPECT_TRUE(same_stats(res.total, base.total));
+}
+
+// --- 2. Send-order invariance within a round ------------------------------
+
+// Broadcasts the vertex id every round, sweeping ports forward or backward,
+// and records each round's inbox as delivered. Slot routing must make the
+// recorded trace independent of the send order.
+class OrderProbe : public sim::VertexProgram {
+ public:
+  OrderProbe(V n, bool reverse_sends, int rounds)
+      : reverse_(reverse_sends), rounds_(rounds),
+        trace_(static_cast<std::size_t>(n)) {}
+
+  std::string name() const override { return "order-probe"; }
+
+  void begin(sim::Ctx& ctx) override { announce(ctx); }
+
+  void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
+    auto& trace = trace_[static_cast<std::size_t>(ctx.vertex())];
+    for (const sim::MsgView& msg : inbox) {
+      trace.push_back(msg.port);
+      for (const std::int64_t w : msg.data) trace.push_back(w);
+    }
+    if (ctx.round() >= rounds_) {
+      ctx.halt();
+      return;
+    }
+    announce(ctx);
+  }
+
+  const std::vector<std::vector<std::int64_t>>& trace() const { return trace_; }
+
+ private:
+  void announce(sim::Ctx& ctx) {
+    const int deg = ctx.degree();
+    if (reverse_) {
+      for (int p = deg - 1; p >= 0; --p) ctx.send(p, {ctx.id(), p});
+    } else {
+      for (int p = 0; p < deg; ++p) ctx.send(p, {ctx.id(), p});
+    }
+  }
+
+  bool reverse_;
+  int rounds_;
+  std::vector<std::vector<std::int64_t>> trace_;
+};
+
+TEST(EngineDeterminism, InboxIndependentOfSendOrderWithinRound) {
+  const Graph g = random_near_regular(512, 6, 5);
+  OrderProbe forward(g.num_vertices(), /*reverse_sends=*/false, 4);
+  OrderProbe backward(g.num_vertices(), /*reverse_sends=*/true, 4);
+  sim::Engine e1(g, 1), e2(g, 1);
+  const sim::RunStats s1 = e1.run(forward, 16);
+  const sim::RunStats s2 = e2.run(backward, 16);
+  EXPECT_TRUE(same_stats(s1, s2));
+  EXPECT_EQ(forward.trace(), backward.trace());
+}
+
+TEST(EngineDeterminism, PermutedSendsAndShardsCompose) {
+  const Graph g = random_near_regular(512, 6, 9);
+  OrderProbe base(g.num_vertices(), false, 4);
+  OrderProbe permuted(g.num_vertices(), true, 4);
+  sim::Engine e1(g, 1), e2(g, 8);
+  const sim::RunStats s1 = e1.run(base, 16);
+  const sim::RunStats s2 = e2.run(permuted, 16);
+  EXPECT_TRUE(same_stats(s1, s2));
+  EXPECT_EQ(base.trace(), permuted.trace());
+}
+
+// --- 3. Zero per-message allocations in the warm round loop ---------------
+
+class FloodAll : public sim::VertexProgram {
+ public:
+  explicit FloodAll(int rounds) : rounds_(rounds) {}
+  std::string name() const override { return "flood"; }
+  void begin(sim::Ctx& ctx) override { ctx.broadcast({1, 2, 3}); }
+  void step(sim::Ctx& ctx, const sim::Inbox&) override {
+    if (ctx.round() >= rounds_) ctx.halt();
+    else ctx.broadcast({1, 2, 3});
+  }
+ private:
+  int rounds_;
+};
+
+TEST(EngineDeterminism, RoundLoopIsAllocationFreeOnceWarm) {
+  const Graph g = random_near_regular(2048, 8, 3);
+  constexpr int kRounds = 12;
+  FloodAll prog(kRounds);
+  sim::Engine engine(g, 1);
+  std::vector<std::uint64_t> per_round(kRounds + 2, 0);
+  engine.set_round_observer([&per_round](int round) {
+    per_round[static_cast<std::size_t>(round)] =
+        g_alloc_count.load(std::memory_order_relaxed);
+  });
+  const sim::RunStats stats = engine.run(prog, kRounds + 4);
+  engine.set_round_observer(nullptr);
+  ASSERT_GE(stats.rounds, 6);
+  // Rounds 1-2 warm the arena word buffers and the inbox; every later round
+  // must allocate nothing despite moving ~2m messages per round.
+  for (int r = 3; r <= stats.rounds; ++r) {
+    EXPECT_EQ(per_round[static_cast<std::size_t>(r)] -
+                  per_round[static_cast<std::size_t>(r - 1)],
+              0u)
+        << "allocation in warm round " << r;
+  }
+  EXPECT_GT(stats.messages, 0u);
+}
+
+// A second engine run on the same Engine object must also stay clean (arena
+// reuse across runs).
+TEST(EngineDeterminism, SecondRunReusesArenas) {
+  const Graph g = random_near_regular(1024, 6, 4);
+  sim::Engine engine(g, 1);
+  constexpr int kRounds = 8;
+  FloodAll warmup(kRounds);
+  engine.run(warmup, kRounds + 4);
+  FloodAll prog(kRounds);
+  std::vector<std::uint64_t> per_round(kRounds + 2, 0);
+  engine.set_round_observer([&per_round](int round) {
+    per_round[static_cast<std::size_t>(round)] =
+        g_alloc_count.load(std::memory_order_relaxed);
+  });
+  const sim::RunStats stats = engine.run(prog, kRounds + 4);
+  for (int r = 2; r <= stats.rounds; ++r) {
+    EXPECT_EQ(per_round[static_cast<std::size_t>(r)] -
+                  per_round[static_cast<std::size_t>(r - 1)],
+              0u)
+        << "allocation in round " << r << " of a warm engine";
+  }
+}
+
+}  // namespace
+}  // namespace dvc
