@@ -65,6 +65,23 @@ int main() {
       const LegalColoringResult res = color_graph(g, a, preset);
       record(preset_name(preset), "yes", res.distinct, res.total.rounds,
              res.total.messages, ms_since(t0));
+      // Per-phase breakdown from the session PhaseLog: one record per tree
+      // node, `depth`/`span` encode the nesting.
+      for (std::size_t i = 0; i < res.phases.size(); ++i) {
+        const auto& entry = res.phases[i];
+        sink.add(benchio::JsonRecord()
+                     .field("bench", "comparison_phase")
+                     .field("algorithm", preset_name(preset))
+                     .field("family", family)
+                     .field("n", static_cast<std::int64_t>(g.num_vertices()))
+                     .field("delta", g.max_degree())
+                     .field("phase", std::string(res.phases.name(i)))
+                     .field("depth", entry.depth)
+                     .field("span", entry.span ? 1 : 0)
+                     .field("rounds", entry.rounds)
+                     .field("messages", entry.messages)
+                     .field("words", entry.words));
+      }
     }
     {
       const auto t0 = Clock::now();

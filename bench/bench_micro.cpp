@@ -3,11 +3,15 @@
 // (family, n, Delta, rounds, messages, wall-ms, throughput) so the perf
 // trajectory is tracked across PRs.
 //
-// The headline number is message-passing throughput of the mailbox runtime
-// on a G(n, Delta) flood workload, compared against an in-repo replica of
-// the original packet engine (per-message heap-allocated payload vectors +
-// per-round counting sort) to keep the speedup measurable from inside any
-// checkout.
+// Two headline numbers:
+//   * message-passing throughput of the mailbox runtime on a G(n, Delta)
+//     flood workload, against an in-repo replica of the original packet
+//     engine (per-message heap-allocated payload vectors + per-round
+//     counting sort);
+//   * phase-boundary cost of a composed pipeline: a fresh Engine per phase
+//     (re-allocating arenas and re-spawning shard threads, the pre-Runtime
+//     architecture) against one persistent sim::Runtime running the same
+//     phases via run_phase().
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -186,6 +190,103 @@ void bench_flood_throughput(benchio::JsonSink& sink) {
   }
 }
 
+// A short flood phase, as seen at the boundary between two pipeline stages:
+// most of the paper's composed procedures run many brief programs back to
+// back, so per-phase setup cost is what the Runtime exists to amortize.
+// rounds == 0 is the pure boundary (every vertex decides locally and
+// halts), the shape of trivial subproblems deep in a recursion.
+class FloodPhase : public sim::VertexProgram {
+ public:
+  explicit FloodPhase(int rounds) : rounds_(rounds) {}
+  std::string name() const override { return "flood-phase"; }
+  void begin(sim::Ctx& ctx) override {
+    if (rounds_ == 0) ctx.halt();
+    else ctx.broadcast({1});
+  }
+  void step(sim::Ctx& ctx, const sim::Inbox&) override {
+    if (ctx.round() >= rounds_) ctx.halt();
+    else ctx.broadcast({1});
+  }
+ private:
+  int rounds_;
+};
+
+void bench_phase_boundary(benchio::JsonSink& sink) {
+  std::cout << "\n== phase-boundary cost: fresh Engine per phase vs one "
+               "Runtime session ==\n";
+  constexpr int kPhases = 48;
+  constexpr int kReps = 3;
+  struct Config { V n; int delta; int shards; int rounds; };
+  for (const Config cfg :
+       {Config{1 << 12, 8, 1, 1}, Config{1 << 12, 8, 4, 1},
+        Config{1 << 14, 8, 4, 1}, Config{1 << 14, 8, 4, 0}}) {
+    const Graph g = random_near_regular(cfg.n, cfg.delta, 5);
+
+    // Pre-Runtime architecture: every phase constructs its own engine,
+    // re-allocating all arenas and re-spawning shards-1 worker threads.
+    double fresh_ms = 1e300;
+    sim::RunStats fresh_stats;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = Clock::now();
+      sim::RunStats total;
+      for (int phase = 0; phase < kPhases; ++phase) {
+        sim::Engine engine(g, cfg.shards);
+        FloodPhase prog(cfg.rounds);
+        total += engine.run(prog, cfg.rounds + sim::kRoundCapSlack);
+      }
+      fresh_ms = std::min(fresh_ms, ms_since(t0));
+      fresh_stats = total;
+    }
+
+    // One session: arenas and the parked pool persist across all phases.
+    double runtime_ms = 1e300;
+    sim::RunStats runtime_stats;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = Clock::now();
+      sim::Runtime rt(g, cfg.shards);
+      sim::RunStats total;
+      for (int phase = 0; phase < kPhases; ++phase) {
+        FloodPhase prog(cfg.rounds);
+        total += rt.run_phase(prog, cfg.rounds + sim::kRoundCapSlack);
+      }
+      runtime_ms = std::min(runtime_ms, ms_since(t0));
+      runtime_stats = total;
+    }
+
+    const double speedup = fresh_ms / runtime_ms;
+    std::cout << "n=" << g.num_vertices() << " shards=" << cfg.shards
+              << " rounds/phase=" << cfg.rounds << ": " << kPhases
+              << " phases, fresh-engine " << fresh_ms << " ms, runtime "
+              << runtime_ms << " ms, speedup " << speedup << "x\n";
+
+    sink.add(benchio::JsonRecord()
+                 .field("bench", "phase_boundary")
+                 .field("engine", "fresh_engine_per_phase")
+                 .field("family", "near_regular")
+                 .field("n", static_cast<std::int64_t>(g.num_vertices()))
+                 .field("delta", g.max_degree())
+                 .field("shards", cfg.shards)
+                 .field("phases", kPhases)
+                 .field("rounds_per_phase", cfg.rounds)
+                 .field("rounds", fresh_stats.rounds)
+                 .field("messages", fresh_stats.messages)
+                 .field("wall_ms", fresh_ms));
+    sink.add(benchio::JsonRecord()
+                 .field("bench", "phase_boundary")
+                 .field("engine", "runtime_reuse")
+                 .field("family", "near_regular")
+                 .field("n", static_cast<std::int64_t>(g.num_vertices()))
+                 .field("delta", g.max_degree())
+                 .field("shards", cfg.shards)
+                 .field("phases", kPhases)
+                 .field("rounds_per_phase", cfg.rounds)
+                 .field("rounds", runtime_stats.rounds)
+                 .field("messages", runtime_stats.messages)
+                 .field("wall_ms", runtime_ms)
+                 .field("speedup_vs_fresh_engine", speedup));
+  }
+}
+
 void bench_substrate(benchio::JsonSink& sink) {
   std::cout << "\n== substrate end-to-end costs ==\n";
   {
@@ -219,6 +320,19 @@ void bench_substrate(benchio::JsonSink& sink) {
                  .field("rounds", res.total.rounds)
                  .field("messages", res.total.messages)
                  .field("wall_ms", ms));
+    // Per-phase breakdown from the session PhaseLog (depth encodes the
+    // span tree; spans aggregate their subtrees).
+    for (std::size_t i = 0; i < res.phases.size(); ++i) {
+      const auto& entry = res.phases[i];
+      sink.add(benchio::JsonRecord()
+                   .field("bench", "legal_coloring_phase")
+                   .field("phase", std::string(res.phases.name(i)))
+                   .field("depth", entry.depth)
+                   .field("span", entry.span ? 1 : 0)
+                   .field("rounds", entry.rounds)
+                   .field("messages", entry.messages)
+                   .field("words", entry.words));
+    }
   }
   {
     const Graph g = planted_arboricity(1 << 15, 8, 4);
@@ -242,6 +356,7 @@ int main() {
   std::cout << "E12: simulation-substrate microbenchmarks\n\n";
   benchio::JsonSink sink("micro");
   bench_flood_throughput(sink);
+  bench_phase_boundary(sink);
   bench_substrate(sink);
   return 0;
 }

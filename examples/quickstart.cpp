@@ -40,11 +40,14 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  std::cout << "\nPhase breakdown of the Corollary 4.6 run:\n";
+  std::cout << "\nPhase breakdown of the Corollary 4.6 run (PhaseLog tree):\n";
   const LegalColoringResult detail = color_graph(g, a, Preset::NearLinearColors);
   Table phases({"phase", "rounds", "messages"});
-  for (const auto& [name, stats] : detail.phases) {
-    phases.row(name, stats.rounds, stats.messages);
+  for (std::size_t i = 0; i < detail.phases.size(); ++i) {
+    const auto& entry = detail.phases[i];
+    std::string label(static_cast<std::size_t>(2 * entry.depth), ' ');
+    label += detail.phases.name(i);
+    phases.row(label, entry.rounds, entry.messages);
   }
   phases.print(std::cout);
   return 0;

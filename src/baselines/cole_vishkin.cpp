@@ -88,14 +88,16 @@ class ColeVishkinProgram : public sim::VertexProgram {
 
 }  // namespace
 
-RingColoringResult cole_vishkin_ring(const Graph& ring) {
+RingColoringResult cole_vishkin_ring(sim::Runtime& rt) {
+  const Graph& ring = rt.graph();
   DVC_REQUIRE(ring.num_vertices() >= 3 && ring.max_degree() == 2 &&
                   ring.num_edges() == ring.num_vertices(),
               "cole_vishkin_ring expects cycle_graph(n)");
   ColeVishkinProgram program(ring);
-  sim::Engine engine(ring);
   RingColoringResult out;
-  out.stats = engine.run(program, cv_iterations(ring.num_vertices()) + 8);
+  out.stats = rt.run_phase(
+      program, cv_iterations(ring.num_vertices()) + sim::kRoundCapSlack,
+      "cole-vishkin");
   out.colors = program.take_colors();
   return out;
 }

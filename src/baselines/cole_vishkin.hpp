@@ -18,6 +18,11 @@ struct RingColoringResult {
   sim::RunStats stats;
 };
 
-RingColoringResult cole_vishkin_ring(const Graph& ring);
+RingColoringResult cole_vishkin_ring(sim::Runtime& rt);
+
+inline RingColoringResult cole_vishkin_ring(const Graph& ring) {
+  sim::Runtime rt(ring);
+  return cole_vishkin_ring(rt);
+}
 
 }  // namespace dvc

@@ -34,6 +34,8 @@ Graph mis_coloring_product(const Graph& g, int palette) {
 RandColoringResult coloring_via_mis_reduction(const Graph& g, std::uint64_t seed) {
   const int palette = g.max_degree() + 1;
   const Graph product = mis_coloring_product(g, palette);
+  // Simulates on the derived product graph, so it cannot join a session
+  // bound to g; the Graph-shim of luby_mis opens a private Runtime.
   const MisResult mis = luby_mis(product, seed);
 
   RandColoringResult out;

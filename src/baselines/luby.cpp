@@ -81,11 +81,12 @@ class LubyProgram : public sim::VertexProgram {
 
 }  // namespace
 
-MisResult luby_mis(const Graph& g, std::uint64_t seed) {
+MisResult luby_mis(sim::Runtime& rt, std::uint64_t seed) {
+  const Graph& g = rt.graph();
   LubyProgram program(g, seed);
-  sim::Engine engine(g);
   MisResult out;
-  out.total = engine.run(program, sim::default_round_cap(g.num_vertices()));
+  out.total = rt.run_phase(program, sim::default_round_cap(g.num_vertices()),
+                           "luby-mis");
   out.in_mis = program.take();
   out.algorithm = "luby(randomized)";
   return out;

@@ -11,6 +11,11 @@
 
 namespace dvc {
 
-MisResult luby_mis(const Graph& g, std::uint64_t seed);
+MisResult luby_mis(sim::Runtime& rt, std::uint64_t seed);
+
+inline MisResult luby_mis(const Graph& g, std::uint64_t seed) {
+  sim::Runtime rt(g);
+  return luby_mis(rt, seed);
+}
 
 }  // namespace dvc

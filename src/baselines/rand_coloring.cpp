@@ -94,11 +94,12 @@ class TrialColoringProgram : public sim::VertexProgram {
 
 }  // namespace
 
-RandColoringResult randomized_delta_plus_one(const Graph& g, std::uint64_t seed) {
+RandColoringResult randomized_delta_plus_one(sim::Runtime& rt, std::uint64_t seed) {
+  const Graph& g = rt.graph();
   TrialColoringProgram program(g, seed);
-  sim::Engine engine(g);
   RandColoringResult out;
-  out.stats = engine.run(program, sim::default_round_cap(g.num_vertices()));
+  out.stats = rt.run_phase(program, sim::default_round_cap(g.num_vertices()),
+                           "randomized-trial-coloring");
   out.colors = program.take_colors();
   out.palette = program.palette();
   return out;

@@ -20,6 +20,12 @@ struct RandColoringResult {
   sim::RunStats stats;
 };
 
-RandColoringResult randomized_delta_plus_one(const Graph& g, std::uint64_t seed);
+RandColoringResult randomized_delta_plus_one(sim::Runtime& rt, std::uint64_t seed);
+
+inline RandColoringResult randomized_delta_plus_one(const Graph& g,
+                                                    std::uint64_t seed) {
+  sim::Runtime rt(g);
+  return randomized_delta_plus_one(rt, seed);
+}
 
 }  // namespace dvc

@@ -21,39 +21,51 @@ std::string preset_name(Preset p) {
   return "unknown";
 }
 
-LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset preset,
-                                const Knobs& knobs) {
+LegalColoringResult color_graph(sim::Runtime& rt, int arboricity_bound,
+                                Preset preset, const Knobs& knobs) {
   DVC_REQUIRE(arboricity_bound >= 1, "arboricity bound must be >= 1");
-  const sim::ScopedDefaultShards shard_guard(knobs.shards);
   switch (preset) {
     case Preset::LinearColors:
-      return legal_coloring_linear(g, arboricity_bound, knobs.mu, knobs.eps);
+      return legal_coloring_linear(rt, arboricity_bound, knobs.mu, knobs.eps);
     case Preset::NearLinearColors:
-      return legal_coloring_near_linear(g, arboricity_bound, knobs.eta, knobs.eps);
+      return legal_coloring_near_linear(rt, arboricity_bound, knobs.eta, knobs.eps);
     case Preset::PolylogTime: {
       const int f = std::max<int>(
           16, ilog2_ceil(static_cast<std::uint64_t>(std::max(2, arboricity_bound))));
-      return legal_coloring_slow_fn(g, arboricity_bound, f, knobs.eps);
+      return legal_coloring_slow_fn(rt, arboricity_bound, f, knobs.eps);
     }
     case Preset::FastSubquadratic: {
       const int f = knobs.f > 0
                         ? knobs.f
                         : std::max(1, static_cast<int>(std::sqrt(
                                           static_cast<double>(arboricity_bound))));
-      return fast_subquadratic_coloring(g, arboricity_bound, f, knobs.eta, knobs.eps);
+      return fast_subquadratic_coloring(rt, arboricity_bound, f, knobs.eta, knobs.eps);
     }
     case Preset::TradeoffAT:
-      return tradeoff_coloring(g, arboricity_bound, knobs.t, knobs.mu, knobs.eps);
+      return tradeoff_coloring(rt, arboricity_bound, knobs.t, knobs.mu, knobs.eps);
     case Preset::DeltaPlusOneLowArb:
-      return delta_plus_one_low_arb(g, arboricity_bound, knobs.eta, knobs.eps);
+      return delta_plus_one_low_arb(rt, arboricity_bound, knobs.eta, knobs.eps);
   }
   DVC_REQUIRE(false, "unknown preset");
   return {};
 }
 
+LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset preset,
+                                const Knobs& knobs) {
+  DVC_REQUIRE(arboricity_bound >= 1, "arboricity bound must be >= 1");
+  const sim::ScopedDefaultShards shard_guard(knobs.shards);
+  sim::Runtime rt(g);
+  return color_graph(rt, arboricity_bound, preset, knobs);
+}
+
+MisResult mis_graph(sim::Runtime& rt, int arboricity_bound, const Knobs& knobs) {
+  return deterministic_mis(rt, arboricity_bound, knobs.mu, knobs.eps);
+}
+
 MisResult mis_graph(const Graph& g, int arboricity_bound, const Knobs& knobs) {
   const sim::ScopedDefaultShards shard_guard(knobs.shards);
-  return deterministic_mis(g, arboricity_bound, knobs.mu, knobs.eps);
+  sim::Runtime rt(g);
+  return mis_graph(rt, arboricity_bound, knobs);
 }
 
 }  // namespace dvc

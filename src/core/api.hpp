@@ -44,11 +44,23 @@ struct Knobs {
 std::string preset_name(Preset p);
 
 /// Runs the preset; `arboricity_bound` must be >= the arboricity of g.
+/// Internally one sim::Runtime session carries the whole pipeline, so
+/// arenas and shard threads are reused at every phase boundary; the
+/// returned result's `phases` PhaseLog is the session's per-phase tree.
 LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset preset,
                                 const Knobs& knobs = Knobs{});
 
+/// Same, on a caller-provided session (batched runs, custom phase logging,
+/// regression probes). rt.graph() is the input; knobs.shards is ignored --
+/// the session's shard count applies.
+LegalColoringResult color_graph(sim::Runtime& rt, int arboricity_bound,
+                                Preset preset, const Knobs& knobs = Knobs{});
+
 /// Deterministic MIS (Section 1.2): Theorem 4.3 coloring + color sweep.
 MisResult mis_graph(const Graph& g, int arboricity_bound,
+                    const Knobs& knobs = Knobs{});
+
+MisResult mis_graph(sim::Runtime& rt, int arboricity_bound,
                     const Knobs& knobs = Knobs{});
 
 }  // namespace dvc

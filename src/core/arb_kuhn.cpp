@@ -8,22 +8,23 @@
 
 namespace dvc {
 
-ArbKuhnResult arb_kuhn_arbdefective(const Graph& g, int arboricity_bound,
+ArbKuhnResult arb_kuhn_arbdefective(sim::Runtime& rt, int arboricity_bound,
                                     int arbdefect_budget, double eps,
                                     const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(arboricity_bound >= 1 && arbdefect_budget >= 0,
               "bad Arb-Kuhn parameters");
+  const sim::PhaseSpan span(rt, "arb-kuhn-decomposition");
   ArbKuhnResult out{Coloring{},
                     0,
                     arbdefect_budget,
-                    orient_by_ids(g, arboricity_bound, eps, groups),
+                    orient_by_ids(rt, arboricity_bound, eps, groups),
                     {},
                     sim::RunStats{}};
   out.total += out.orientation.total;
   // Iterated Procedure Arb-Recolor: out-degree is bounded by the H-partition
   // threshold A = floor((2+eps)a).
   DefectiveResult recolor = arb_recolor_iterated(
-      g, out.orientation.sigma, out.orientation.hp.threshold, arbdefect_budget,
+      rt, out.orientation.sigma, out.orientation.hp.threshold, arbdefect_budget,
       groups);
   out.total += recolor.stats;
   out.colors = std::move(recolor.colors);
@@ -32,12 +33,13 @@ ArbKuhnResult arb_kuhn_arbdefective(const Graph& g, int arboricity_bound,
   return out;
 }
 
-LegalColoringResult fast_subquadratic_coloring(const Graph& g, int arboricity_bound,
+LegalColoringResult fast_subquadratic_coloring(sim::Runtime& rt, int arboricity_bound,
                                                int class_arboricity, double eta,
                                                double eps) {
   DVC_REQUIRE(class_arboricity >= 1, "class arboricity must be >= 1");
+  const std::size_t log_mark = rt.log().size();
   ArbKuhnResult decomp =
-      arb_kuhn_arbdefective(g, arboricity_bound, class_arboricity, eps);
+      arb_kuhn_arbdefective(rt, arboricity_bound, class_arboricity, eps);
   // Run Legal-Coloring in parallel on all O((a/d)^2) classes with distinct
   // palettes; each class has arboricity <= class_arboricity.
   const int exponent = std::min(16, static_cast<int>(iceil_div(
@@ -45,26 +47,26 @@ LegalColoringResult fast_subquadratic_coloring(const Graph& g, int arboricity_bo
                                                1, static_cast<std::int64_t>(2.0 * eta)))));
   const int p = std::max(4, 1 << exponent);
   LegalColoringResult out =
-      legal_coloring(g, class_arboricity, p, eps, &decomp.colors,
+      legal_coloring(rt, class_arboricity, p, eps, &decomp.colors,
                      /*initial_alpha=*/class_arboricity);
-  out.phases.insert(out.phases.begin(),
-                    {"arb-kuhn-decomposition", decomp.total});
-  out.total += decomp.total;
+  // Execution order: the decomposition ran before the inner Legal-Coloring.
+  out.total.prepend(std::move(decomp.total));
+  out.phases = rt.log().slice(log_mark);
   return out;
 }
 
-LegalColoringResult tradeoff_coloring(const Graph& g, int arboricity_bound, int t,
+LegalColoringResult tradeoff_coloring(sim::Runtime& rt, int arboricity_bound, int t,
                                       double mu, double eps) {
   DVC_REQUIRE(t >= 1 && t <= std::max(1, arboricity_bound), "t must be in [1, a]");
+  const std::size_t log_mark = rt.log().size();
   const int d = std::max<int>(1, static_cast<int>(iceil_div(arboricity_bound, t)));
-  ArbKuhnResult decomp = arb_kuhn_arbdefective(g, arboricity_bound, d, eps);
+  ArbKuhnResult decomp = arb_kuhn_arbdefective(rt, arboricity_bound, d, eps);
   const int p = std::max(
       4, static_cast<int>(std::ceil(std::pow(static_cast<double>(d), mu / 2.0))));
-  LegalColoringResult out = legal_coloring(g, d, p, eps, &decomp.colors,
+  LegalColoringResult out = legal_coloring(rt, d, p, eps, &decomp.colors,
                                            /*initial_alpha=*/d);
-  out.phases.insert(out.phases.begin(),
-                    {"arb-kuhn-decomposition", decomp.total});
-  out.total += decomp.total;
+  out.total.prepend(std::move(decomp.total));
+  out.phases = rt.log().slice(log_mark);
   return out;
 }
 

@@ -5,7 +5,7 @@
 namespace dvc {
 
 ArbdefectiveColoringResult arbdefective_coloring(
-    const Graph& g, int arboricity_bound, int t, int k, double eps,
+    sim::Runtime& rt, int arboricity_bound, int t, int k, double eps,
     const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(arboricity_bound >= 1 && t >= 1 && k >= 1,
               "bad arbdefective-coloring parameters");
@@ -13,11 +13,11 @@ ArbdefectiveColoringResult arbdefective_coloring(
       Coloring{},
       k,
       0,
-      partial_orientation(g, arboricity_bound, t, eps, groups),
+      partial_orientation(rt, arboricity_bound, t, eps, groups),
       sim::RunStats{}};
   out.total += out.orientation.total;
   SimpleArbResult arb =
-      simple_arbdefective(g, out.orientation.sigma, k, groups);
+      simple_arbdefective(rt, out.orientation.sigma, k, groups);
   out.total += arb.stats;
   out.colors = std::move(arb.colors);
   // Theorem 3.2: tau + floor(m/k) with tau = floor(a/t) and

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
 
 #include "common/check.hpp"
 #include "common/math.hpp"
@@ -16,17 +15,18 @@ namespace dvc {
 namespace {
 
 /// Order-preserving dense renaming of group labels (behaviour-preserving
-/// bookkeeping between phases; see header).
+/// bookkeeping between phases; see header). Runs once per refinement phase
+/// on the hot pipeline path: rank lookup is binary search over a flat
+/// sorted vector, O(n log n) total with no node allocations.
 std::vector<std::int64_t> compact_groups(const std::vector<std::int64_t>& groups) {
   std::vector<std::int64_t> sorted(groups);
   std::sort(sorted.begin(), sorted.end());
   sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
-  std::map<std::int64_t, std::int64_t> remap;
-  for (std::size_t i = 0; i < sorted.size(); ++i) {
-    remap[sorted[i]] = static_cast<std::int64_t>(i);
-  }
   std::vector<std::int64_t> out(groups.size());
-  for (std::size_t i = 0; i < groups.size(); ++i) out[i] = remap[groups[i]];
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    out[i] = std::lower_bound(sorted.begin(), sorted.end(), groups[i]) -
+             sorted.begin();
+  }
   return out;
 }
 
@@ -38,13 +38,15 @@ std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
 
 }  // namespace
 
-LegalColoringResult legal_coloring(const Graph& g, int arboricity_bound, int p,
+LegalColoringResult legal_coloring(sim::Runtime& rt, int arboricity_bound, int p,
                                    double eps,
                                    const std::vector<std::int64_t>* initial_groups,
                                    int initial_alpha) {
   DVC_REQUIRE(arboricity_bound >= 1, "arboricity bound must be >= 1");
   DVC_REQUIRE(p >= 4, "Legal-Coloring needs p >= 4 so the arboricity shrinks "
                       "each phase (the paper assumes p >= 16)");
+  const Graph& g = rt.graph();
+  const std::size_t log_mark = rt.log().size();
   LegalColoringResult out;
   std::vector<std::int64_t> groups;
   if (initial_groups) {
@@ -61,11 +63,11 @@ LegalColoringResult legal_coloring(const Graph& g, int arboricity_bound, int p,
 
   // While-loop of Algorithm 2: refine the decomposition until alpha <= p.
   while (alpha > p) {
-    ArbdefectiveColoringResult phase =
-        arbdefective_coloring(g, alpha, /*t=*/p, /*k=*/p, eps, &groups);
-    out.phases.emplace_back("arbdefective(p=" + std::to_string(p) +
-                                ",alpha=" + std::to_string(alpha) + ")",
-                            phase.total);
+    ArbdefectiveColoringResult phase = [&] {
+      const sim::PhaseSpan span(rt, "arbdefective(p=" + std::to_string(p) +
+                                        ",alpha=" + std::to_string(alpha) + ")");
+      return arbdefective_coloring(rt, alpha, /*t=*/p, /*k=*/p, eps, &groups);
+    }();
     out.total += phase.total;
     ++out.iterations;
     for (V v = 0; v < g.num_vertices(); ++v) {
@@ -85,8 +87,13 @@ LegalColoringResult legal_coloring(const Graph& g, int arboricity_bound, int p,
   const int threshold = static_cast<int>(std::floor((2.0 + eps) * alpha));
   const std::int64_t A = threshold + 1;
 
-  HPartitionResult hp = h_partition(g, alpha, eps, &groups);
-  out.phases.emplace_back("final-h-partition", hp.stats);
+  // The whole final stage runs inside one RAII span (closed when the lambda
+  // returns, before the log slice below, and unwound on a throw so the
+  // session log's depth survives a caught invariant_error).
+  const ReduceResult greedy = [&] {
+  const sim::PhaseSpan final_span(rt, "final-coloring");
+
+  HPartitionResult hp = h_partition(rt, alpha, eps, &groups);
   out.total += hp.stats;
 
   std::vector<std::int64_t> layer_labels(static_cast<std::size_t>(g.num_vertices()));
@@ -95,8 +102,7 @@ LegalColoringResult legal_coloring(const Graph& g, int arboricity_bound, int p,
         groups[static_cast<std::size_t>(v)] * hp.num_levels +
         hp.level[static_cast<std::size_t>(v)];
   }
-  ReduceResult layers = legal_small_degree(g, hp.threshold, &layer_labels);
-  out.phases.emplace_back("final-layer-coloring", layers.stats);
+  ReduceResult layers = legal_small_degree(rt, hp.threshold, &layer_labels);
   out.total += layers.stats;
 
   // Complete orientation within groups by (layer, layer-color), then greedy.
@@ -146,15 +152,15 @@ LegalColoringResult legal_coloring(const Graph& g, int arboricity_bound, int p,
       const Coloring* psi_;
     };
     OrientProgram program(g, sigma, groups, hp.level, layers.colors);
-    sim::Engine engine(g);
-    const sim::RunStats st = engine.run(program, 4);
-    out.phases.emplace_back("final-orient", st);
+    const sim::RunStats& st =
+        rt.run_phase(program, sim::kOneExchangeRoundCap, "final-orient");
     out.total += st;
   }
 
-  ReduceResult greedy = greedy_by_orientation(g, sigma, A, &groups);
-  out.phases.emplace_back("final-greedy", greedy.stats);
-  out.total += greedy.stats;
+  ReduceResult gr = greedy_by_orientation(rt, sigma, A, &groups);
+  out.total += gr.stats;
+  return gr;
+  }();
 
   // Final color: (subgraph index) * A + greedy color; disjoint palettes make
   // the union legal.
@@ -168,46 +174,52 @@ LegalColoringResult legal_coloring(const Graph& g, int arboricity_bound, int p,
   out.colors = compact_colors(out.colors);
   out.palette_formula =
       saturating_mul(formula_groups, static_cast<std::uint64_t>(A));
+  out.phases = rt.log().slice(log_mark);
   return out;
 }
 
-LegalColoringResult legal_coloring_linear(const Graph& g, int arboricity_bound,
+LegalColoringResult legal_coloring_linear(sim::Runtime& rt, int arboricity_bound,
                                           double mu, double eps) {
   DVC_REQUIRE(mu > 0.0 && mu < 1.0, "mu must be in (0,1)");
   const int p = std::max(
       4, static_cast<int>(std::ceil(std::pow(arboricity_bound, mu / 2.0))));
-  return legal_coloring(g, arboricity_bound, p, eps);
+  return legal_coloring(rt, arboricity_bound, p, eps);
 }
 
-LegalColoringResult legal_coloring_near_linear(const Graph& g, int arboricity_bound,
+LegalColoringResult legal_coloring_near_linear(sim::Runtime& rt, int arboricity_bound,
                                                double eta, double eps) {
   DVC_REQUIRE(eta > 0.0, "eta must be positive");
   const int exponent = std::min(16, static_cast<int>(std::ceil(2.0 / eta)));
   const int p = std::max(4, 1 << exponent);
-  return legal_coloring(g, arboricity_bound, p, eps);
+  return legal_coloring(rt, arboricity_bound, p, eps);
 }
 
-LegalColoringResult legal_coloring_slow_fn(const Graph& g, int arboricity_bound,
+LegalColoringResult legal_coloring_slow_fn(sim::Runtime& rt, int arboricity_bound,
                                            int f_value, double eps) {
   DVC_REQUIRE(f_value >= 1, "f(a) must be >= 1");
   const int p = std::max(
       4, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(f_value)))));
-  return legal_coloring(g, arboricity_bound, p, eps);
+  return legal_coloring(rt, arboricity_bound, p, eps);
 }
 
-LegalColoringResult delta_plus_one_low_arb(const Graph& g, int arboricity_bound,
+LegalColoringResult delta_plus_one_low_arb(sim::Runtime& rt, int arboricity_bound,
                                            double eta, double eps) {
-  LegalColoringResult out = legal_coloring_near_linear(g, arboricity_bound, eta, eps);
+  const Graph& g = rt.graph();
+  const std::size_t log_mark = rt.log().size();
+  LegalColoringResult out = legal_coloring_near_linear(rt, arboricity_bound, eta, eps);
   const std::int64_t target = g.max_degree() + 1;
   if (out.distinct <= target) return out;
   // Constant-factor overshoot on a small instance: finish with a
   // Kuhn-Wattenhofer reduction to Delta+1 (colors are already dense).
-  ReduceResult reduced =
-      kw_reduce(g, out.colors, out.distinct, g.max_degree());
-  out.phases.emplace_back("kw-fallback-to-delta-plus-one", reduced.stats);
-  out.total += reduced.stats;
-  out.colors = std::move(reduced.colors);
+  {
+    const sim::PhaseSpan span(rt, "kw-fallback-to-delta-plus-one");
+    ReduceResult reduced =
+        kw_reduce(rt, out.colors, out.distinct, g.max_degree());
+    out.total += reduced.stats;
+    out.colors = std::move(reduced.colors);
+  }
   out.distinct = distinct_colors(out.colors);
+  out.phases = rt.log().slice(log_mark);
   return out;
 }
 

@@ -43,25 +43,28 @@ class ColorSweepProgram : public sim::VertexProgram {
 
 }  // namespace
 
-MisResult mis_from_coloring(const Graph& g, const Coloring& colors, int num_colors) {
+MisResult mis_from_coloring(sim::Runtime& rt, const Coloring& colors, int num_colors) {
+  const Graph& g = rt.graph();
   DVC_REQUIRE(is_legal_coloring(g, colors), "MIS sweep needs a legal coloring");
   MisResult out;
   ColorSweepProgram program(g, colors);
-  sim::Engine engine(g);
-  out.total = engine.run(program, num_colors + 4);
+  out.total = rt.run_phase(program, num_colors + sim::kRoundCapSlack,
+                           "mis-color-sweep");
   out.in_mis = program.take();
   out.colors_used = num_colors;
   out.algorithm = "color-sweep";
   return out;
 }
 
-MisResult deterministic_mis(const Graph& g, int arboricity_bound, double mu,
+MisResult deterministic_mis(sim::Runtime& rt, int arboricity_bound, double mu,
                             double eps) {
+  const std::size_t log_mark = rt.log().size();
   LegalColoringResult coloring =
-      legal_coloring_linear(g, arboricity_bound, mu, eps);
-  MisResult out = mis_from_coloring(g, coloring.colors, coloring.distinct);
-  out.total += coloring.total;
+      legal_coloring_linear(rt, arboricity_bound, mu, eps);
+  MisResult out = mis_from_coloring(rt, coloring.colors, coloring.distinct);
+  out.total.prepend(std::move(coloring.total));
   out.algorithm = "barenboim-elkin(coloring)+sweep";
+  out.phases = rt.log().slice(log_mark);
   return out;
 }
 

@@ -80,14 +80,14 @@ class SimpleArbProgram : public sim::VertexProgram {
 
 }  // namespace
 
-SimpleArbResult simple_arbdefective(const Graph& g, const Orientation& sigma,
+SimpleArbResult simple_arbdefective(sim::Runtime& rt, const Orientation& sigma,
                                     int k, const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(k >= 1, "palette size k must be >= 1");
-  SimpleArbProgram program(g, sigma, k, groups);
-  sim::Engine engine(g);
+  SimpleArbProgram program(rt.graph(), sigma, k, groups);
   SimpleArbResult out;
   // Rounds: 1 (group exchange) + length of the orientation + 1.
-  out.stats = engine.run(program, sigma.length() + 8);
+  out.stats = rt.run_phase(program, sigma.length() + sim::kRoundCapSlack,
+                           "simple-arbdefective");
   out.colors = program.take_colors();
   out.k = k;
   return out;

@@ -46,18 +46,19 @@ class ForestLabelProgram : public sim::VertexProgram {
 
 }  // namespace
 
-ForestsDecomposition forests_decomposition(const Graph& g, int arboricity_bound,
+ForestsDecomposition forests_decomposition(sim::Runtime& rt, int arboricity_bound,
                                            double eps,
                                            const std::vector<std::int64_t>* groups) {
+  const Graph& g = rt.graph();
+  const sim::PhaseSpan span(rt, "forests-decomposition");
   ForestsDecomposition out{
       std::vector<int>(static_cast<std::size_t>(g.num_slots()), -1),
       0,
-      orient_by_ids(g, arboricity_bound, eps, groups),
+      orient_by_ids(rt, arboricity_bound, eps, groups),
       sim::RunStats{}};
   out.total += out.orientation.total;
   ForestLabelProgram program(g, out.orientation.sigma, out.forest_of_slot);
-  sim::Engine engine(g);
-  out.total += engine.run(program, 4);
+  out.total += rt.run_phase(program, sim::kOneExchangeRoundCap, "forest-labels");
   for (const int f : out.forest_of_slot) {
     out.num_forests = std::max(out.num_forests, f + 1);
   }

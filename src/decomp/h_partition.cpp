@@ -50,19 +50,19 @@ class HPartitionProgram : public sim::VertexProgram {
 
 }  // namespace
 
-HPartitionResult h_partition(const Graph& g, int arboricity_bound, double eps,
+HPartitionResult h_partition(sim::Runtime& rt, int arboricity_bound, double eps,
                              const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(arboricity_bound >= 1, "arboricity bound must be >= 1");
   DVC_REQUIRE(eps > 0.0 && eps <= 2.0, "eps must be in (0, 2]");
+  const Graph& g = rt.graph();
   HPartitionResult out;
   out.threshold =
       static_cast<int>(std::floor((2.0 + eps) * arboricity_bound));
   HPartitionProgram program(g, out.threshold, groups);
-  sim::Engine engine(g);
   // Active-vertex count shrinks by a factor (2+eps)/2 per round; the cap
   // below is ~4x the worst-case iteration count for eps = 0.25.
   const int cap = sim::default_round_cap(g.num_vertices());
-  out.stats = engine.run(program, cap);
+  out.stats = rt.run_phase(program, cap, "h-partition");
   out.level = program.levels();
   out.num_levels = 0;
   for (const int lvl : out.level) {

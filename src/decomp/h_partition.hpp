@@ -27,12 +27,21 @@ struct HPartitionResult {
   sim::RunStats stats;
 };
 
-/// Computes the H-partition. Throws invariant_error (via the engine round
-/// cap) if `arboricity_bound` is below the true arboricity of (each group
-/// of) the graph, since the partition then stops making progress.
-HPartitionResult h_partition(const Graph& g, int arboricity_bound,
+/// Computes the H-partition as one phase of the session `rt`. Throws
+/// invariant_error (via the round cap) if `arboricity_bound` is below the
+/// true arboricity of (each group of) the graph, since the partition then
+/// stops making progress.
+HPartitionResult h_partition(sim::Runtime& rt, int arboricity_bound,
                              double eps = 0.25,
                              const std::vector<std::int64_t>* groups = nullptr);
+
+/// One-off convenience: runs in a private session.
+inline HPartitionResult h_partition(const Graph& g, int arboricity_bound,
+                                    double eps = 0.25,
+                                    const std::vector<std::int64_t>* groups = nullptr) {
+  sim::Runtime rt(g);
+  return h_partition(rt, arboricity_bound, eps, groups);
+}
 
 /// Checks the defining property: every vertex in level i has at most
 /// `threshold` same-group neighbors in levels >= i.

@@ -62,13 +62,12 @@ class OrientExchangeProgram : public sim::VertexProgram {
   const std::vector<std::int64_t>* key2_;
 };
 
-sim::RunStats run_orient_exchange(const Graph& g, Orientation& sigma,
+sim::RunStats run_orient_exchange(sim::Runtime& rt, Orientation& sigma,
                                   const std::vector<std::int64_t>* groups,
                                   const std::vector<std::int64_t>& key1,
                                   const std::vector<std::int64_t>& key2) {
-  OrientExchangeProgram program(g, sigma, groups, key1, key2);
-  sim::Engine engine(g);
-  return engine.run(program, 4);
+  OrientExchangeProgram program(rt.graph(), sigma, groups, key1, key2);
+  return rt.run_phase(program, sim::kOneExchangeRoundCap, "orient-exchange");
 }
 
 std::vector<std::int64_t> to_i64(const std::vector<int>& v) {
@@ -91,26 +90,30 @@ std::vector<std::int64_t> group_level_labels(const Graph& g,
 
 }  // namespace
 
-OrientationResult orient_by_ids(const Graph& g, int arboricity_bound, double eps,
+OrientationResult orient_by_ids(sim::Runtime& rt, int arboricity_bound, double eps,
                                 const std::vector<std::int64_t>* groups) {
-  OrientationResult out{Orientation(g), h_partition(g, arboricity_bound, eps, groups),
+  const Graph& g = rt.graph();
+  const sim::PhaseSpan span(rt, "orient-by-ids");
+  OrientationResult out{Orientation(g), h_partition(rt, arboricity_bound, eps, groups),
                         sim::RunStats{}};
   out.total += out.hp.stats;
   std::vector<std::int64_t> key1 = to_i64(out.hp.level);
   std::vector<std::int64_t> key2(static_cast<std::size_t>(g.num_vertices()));
   for (V v = 0; v < g.num_vertices(); ++v) key2[static_cast<std::size_t>(v)] = v + 1;
-  out.total += run_orient_exchange(g, out.sigma, groups, key1, key2);
+  out.total += run_orient_exchange(rt, out.sigma, groups, key1, key2);
   return out;
 }
 
 CompleteOrientationResult complete_orientation(
-    const Graph& g, int arboricity_bound, double eps,
+    sim::Runtime& rt, int arboricity_bound, double eps,
     const std::vector<std::int64_t>* groups) {
-  HPartitionResult hp = h_partition(g, arboricity_bound, eps, groups);
+  const Graph& g = rt.graph();
+  const sim::PhaseSpan span(rt, "complete-orientation");
+  HPartitionResult hp = h_partition(rt, arboricity_bound, eps, groups);
   const std::vector<std::int64_t> layer_labels = group_level_labels(g, groups, hp);
   // Legal O(a)-coloring of every layer in parallel; degree within a layer is
   // bounded by the H-partition threshold.
-  ReduceResult layers = legal_small_degree(g, hp.threshold, &layer_labels);
+  ReduceResult layers = legal_small_degree(rt, hp.threshold, &layer_labels);
 
   CompleteOrientationResult out{Orientation(g), std::move(hp), std::move(layers),
                                 sim::RunStats{}};
@@ -118,20 +121,22 @@ CompleteOrientationResult complete_orientation(
   out.total += out.layer_coloring.stats;
   const std::vector<std::int64_t> key1 = to_i64(out.hp.level);
   out.total +=
-      run_orient_exchange(g, out.sigma, groups, key1, out.layer_coloring.colors);
+      run_orient_exchange(rt, out.sigma, groups, key1, out.layer_coloring.colors);
   return out;
 }
 
 PartialOrientationResult partial_orientation(
-    const Graph& g, int arboricity_bound, int t, double eps,
+    sim::Runtime& rt, int arboricity_bound, int t, double eps,
     const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(t >= 1, "t must be >= 1");
-  HPartitionResult hp = h_partition(g, arboricity_bound, eps, groups);
+  const Graph& g = rt.graph();
+  const sim::PhaseSpan span(rt, "partial-orientation");
+  HPartitionResult hp = h_partition(rt, arboricity_bound, eps, groups);
   const std::vector<std::int64_t> layer_labels = group_level_labels(g, groups, hp);
   // floor(a/t)-defective O(t^2)-coloring of every layer in parallel
   // (Lemma 2.1 applied with layer degree bound floor((2+eps)a)).
   const int defect = arboricity_bound / t;
-  DefectiveResult layers = kuhn_defective(g, hp.threshold, defect, &layer_labels);
+  DefectiveResult layers = kuhn_defective(rt, hp.threshold, defect, &layer_labels);
 
   PartialOrientationResult out{Orientation(g), std::move(hp), std::move(layers),
                                defect, sim::RunStats{}};
@@ -139,7 +144,7 @@ PartialOrientationResult partial_orientation(
   out.total += out.layer_coloring.stats;
   const std::vector<std::int64_t> key1 = to_i64(out.hp.level);
   out.total +=
-      run_orient_exchange(g, out.sigma, groups, key1, out.layer_coloring.colors);
+      run_orient_exchange(rt, out.sigma, groups, key1, out.layer_coloring.colors);
   return out;
 }
 

@@ -45,9 +45,16 @@ struct OrientationResult {
 
 /// Lemma 2.4. Orients every same-group edge; cross-group edges stay
 /// unoriented (they belong to no subgraph when running group-parallel).
-OrientationResult orient_by_ids(const Graph& g, int arboricity_bound,
+OrientationResult orient_by_ids(sim::Runtime& rt, int arboricity_bound,
                                 double eps = 0.25,
                                 const std::vector<std::int64_t>* groups = nullptr);
+
+inline OrientationResult orient_by_ids(const Graph& g, int arboricity_bound,
+                                       double eps = 0.25,
+                                       const std::vector<std::int64_t>* groups = nullptr) {
+  sim::Runtime rt(g);
+  return orient_by_ids(rt, arboricity_bound, eps, groups);
+}
 
 struct CompleteOrientationResult {
   Orientation sigma;
@@ -58,8 +65,15 @@ struct CompleteOrientationResult {
 
 /// Procedure Complete-Orientation (Lemma 3.3).
 CompleteOrientationResult complete_orientation(
-    const Graph& g, int arboricity_bound, double eps = 0.25,
+    sim::Runtime& rt, int arboricity_bound, double eps = 0.25,
     const std::vector<std::int64_t>* groups = nullptr);
+
+inline CompleteOrientationResult complete_orientation(
+    const Graph& g, int arboricity_bound, double eps = 0.25,
+    const std::vector<std::int64_t>* groups = nullptr) {
+  sim::Runtime rt(g);
+  return complete_orientation(rt, arboricity_bound, eps, groups);
+}
 
 struct PartialOrientationResult {
   Orientation sigma;
@@ -71,7 +85,14 @@ struct PartialOrientationResult {
 
 /// Procedure Partial-Orientation (Algorithm 1 / Theorem 3.5).
 PartialOrientationResult partial_orientation(
-    const Graph& g, int arboricity_bound, int t, double eps = 0.25,
+    sim::Runtime& rt, int arboricity_bound, int t, double eps = 0.25,
     const std::vector<std::int64_t>* groups = nullptr);
+
+inline PartialOrientationResult partial_orientation(
+    const Graph& g, int arboricity_bound, int t, double eps = 0.25,
+    const std::vector<std::int64_t>* groups = nullptr) {
+  sim::Runtime rt(g);
+  return partial_orientation(rt, arboricity_bound, t, eps, groups);
+}
 
 }  // namespace dvc

@@ -92,13 +92,14 @@ class RecolorProgram : public sim::VertexProgram {
   Coloring colors_;
 };
 
-DefectiveResult run_recolor(const Graph& g, std::int64_t relevant_degree_bound,
+DefectiveResult run_recolor(sim::Runtime& rt, std::int64_t relevant_degree_bound,
                             int defect_budget,
                             const std::vector<std::int64_t>* groups,
                             const Orientation* sigma, const Coloring* initial,
-                            std::int64_t initial_palette) {
+                            std::int64_t initial_palette, std::string_view label) {
   DVC_REQUIRE(relevant_degree_bound >= 0, "degree bound must be >= 0");
   DVC_REQUIRE(defect_budget >= 0, "defect budget must be >= 0");
+  const Graph& g = rt.graph();
   Coloring start;
   std::int64_t M0;
   if (initial) {
@@ -117,8 +118,9 @@ DefectiveResult run_recolor(const Graph& g, std::int64_t relevant_degree_bound,
   out.defect_budget = defect_budget;
 
   RecolorProgram program(g, out.schedule, groups, sigma, std::move(start));
-  sim::Engine engine(g);
-  out.stats = engine.run(program, static_cast<int>(out.schedule.size()) + 2);
+  out.stats = rt.run_phase(
+      program, static_cast<int>(out.schedule.size()) + sim::kRoundCapSlack,
+      label);
   out.colors = program.take_colors();
   for (const std::int64_t c : out.colors) {
     DVC_ENSURE(c >= 0 && c < out.palette, "color escaped the palette");
@@ -128,12 +130,13 @@ DefectiveResult run_recolor(const Graph& g, std::int64_t relevant_degree_bound,
 
 }  // namespace
 
-DefectiveResult kuhn_defective(const Graph& g, std::int64_t relevant_degree_bound,
+DefectiveResult kuhn_defective(sim::Runtime& rt, std::int64_t relevant_degree_bound,
                                int defect_budget,
                                const std::vector<std::int64_t>* groups,
                                const Coloring* initial, std::int64_t initial_palette) {
-  return run_recolor(g, relevant_degree_bound, defect_budget, groups,
-                     /*sigma=*/nullptr, initial, initial_palette);
+  return run_recolor(rt, relevant_degree_bound, defect_budget, groups,
+                     /*sigma=*/nullptr, initial, initial_palette,
+                     "kuhn-defective");
 }
 
 DefectiveResult kuhn_defective_p(const Graph& g, int p) {
@@ -142,19 +145,19 @@ DefectiveResult kuhn_defective_p(const Graph& g, int p) {
   return kuhn_defective(g, delta, delta / p);
 }
 
-DefectiveResult linial_coloring(const Graph& g, std::int64_t degree_bound,
+DefectiveResult linial_coloring(sim::Runtime& rt, std::int64_t degree_bound,
                                 const std::vector<std::int64_t>* groups,
                                 const Coloring* initial, std::int64_t initial_palette) {
-  return kuhn_defective(g, degree_bound, /*defect_budget=*/0, groups, initial,
-                        initial_palette);
+  return run_recolor(rt, degree_bound, /*defect_budget=*/0, groups,
+                     /*sigma=*/nullptr, initial, initial_palette, "linial");
 }
 
-DefectiveResult arb_recolor_iterated(const Graph& g, const Orientation& sigma,
+DefectiveResult arb_recolor_iterated(sim::Runtime& rt, const Orientation& sigma,
                                      std::int64_t out_degree_bound,
                                      int arbdefect_budget,
                                      const std::vector<std::int64_t>* groups) {
-  return run_recolor(g, out_degree_bound, arbdefect_budget, groups, &sigma,
-                     /*initial=*/nullptr, /*initial_palette=*/0);
+  return run_recolor(rt, out_degree_bound, arbdefect_budget, groups, &sigma,
+                     /*initial=*/nullptr, /*initial_palette=*/0, "arb-recolor");
 }
 
 }  // namespace dvc

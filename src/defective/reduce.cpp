@@ -278,40 +278,44 @@ class KwReduceProgram : public sim::VertexProgram {
 
 }  // namespace
 
-ReduceResult greedy_by_orientation(const Graph& g, const Orientation& sigma,
+ReduceResult greedy_by_orientation(sim::Runtime& rt, const Orientation& sigma,
                                    std::int64_t palette,
                                    const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(palette >= 1, "palette must be positive");
+  const Graph& g = rt.graph();
   GreedyByOrientationProgram program(g, sigma, palette, groups);
-  sim::Engine engine(g);
   ReduceResult out;
-  out.stats = engine.run(program, sigma.length() + g.num_vertices() + 4);
+  out.stats = rt.run_phase(
+      program, sigma.length() + g.num_vertices() + sim::kRoundCapSlack,
+      "greedy-by-orientation");
   out.colors = program.take_colors();
   out.palette = palette;
   return out;
 }
 
-ReduceResult reduce_colors_naive(const Graph& g, const Coloring& initial,
+ReduceResult reduce_colors_naive(sim::Runtime& rt, const Coloring& initial,
                                  std::int64_t initial_palette, std::int64_t target,
                                  const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(target >= 1 && target <= initial_palette, "bad reduce target");
-  NaiveReduceProgram program(g, initial, initial_palette, target, groups);
-  sim::Engine engine(g);
+  NaiveReduceProgram program(rt.graph(), initial, initial_palette, target, groups);
   ReduceResult out;
-  out.stats = engine.run(program, static_cast<int>(initial_palette - target) + 4);
+  out.stats = rt.run_phase(
+      program,
+      static_cast<int>(initial_palette - target) + sim::kRoundCapSlack,
+      "naive-reduce");
   out.colors = program.take_colors();
   out.palette = target;
   return out;
 }
 
-ReduceResult kw_reduce(const Graph& g, const Coloring& initial,
+ReduceResult kw_reduce(sim::Runtime& rt, const Coloring& initial,
                        std::int64_t initial_palette, int degree_bound,
                        const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(degree_bound >= 0, "degree bound must be >= 0");
-  KwReduceProgram program(g, initial, initial_palette, degree_bound, groups);
-  sim::Engine engine(g);
+  KwReduceProgram program(rt.graph(), initial, initial_palette, degree_bound, groups);
   ReduceResult out;
-  out.stats = engine.run(program, program.total_rounds() + 4);
+  out.stats = rt.run_phase(program, program.total_rounds() + sim::kRoundCapSlack,
+                           "kw-reduce");
   out.colors = program.take_colors();
   out.palette = degree_bound + 1;
   return out;

@@ -5,13 +5,14 @@
 
 namespace dvc {
 
-ReduceResult legal_small_degree(const Graph& g, int degree_bound,
+ReduceResult legal_small_degree(sim::Runtime& rt, int degree_bound,
                                 const std::vector<std::int64_t>* groups) {
   DVC_REQUIRE(degree_bound >= 0, "degree bound must be >= 0");
-  DefectiveResult linial = linial_coloring(g, degree_bound, groups);
+  const sim::PhaseSpan span(rt, "small-degree");
+  DefectiveResult linial = linial_coloring(rt, degree_bound, groups);
   ReduceResult out =
-      kw_reduce(g, linial.colors, linial.palette, degree_bound, groups);
-  out.stats += linial.stats;
+      kw_reduce(rt, linial.colors, linial.palette, degree_bound, groups);
+  out.stats.prepend(std::move(linial.stats));
   return out;
 }
 

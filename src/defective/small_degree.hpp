@@ -21,7 +21,13 @@ namespace dvc {
 
 /// Legal coloring with palette [0, degree_bound + 1) where degree_bound is
 /// an upper bound on the same-group degree of every vertex.
-ReduceResult legal_small_degree(const Graph& g, int degree_bound,
+ReduceResult legal_small_degree(sim::Runtime& rt, int degree_bound,
                                 const std::vector<std::int64_t>* groups = nullptr);
+
+inline ReduceResult legal_small_degree(const Graph& g, int degree_bound,
+                                       const std::vector<std::int64_t>* groups = nullptr) {
+  sim::Runtime rt(g);
+  return legal_small_degree(rt, degree_bound, groups);
+}
 
 }  // namespace dvc

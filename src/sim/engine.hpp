@@ -1,251 +1,58 @@
-// Synchronous LOCAL-model simulator (the paper's Section 1 machine model).
+// Thin single-program facade over the persistent sim::Runtime.
 //
-// Each vertex hosts a processor that knows only its own id (= vertex + 1,
-// ids in {1..n}), its degree, and its port numbering. Computation proceeds
-// in discrete rounds: every message sent in round r is delivered at the
-// start of round r+1. The engine counts rounds, messages and payload words;
-// the round count of a run is exactly the paper's "running time".
+// Historically the Engine WAS the executor and every algorithm driver
+// constructed a throwaway one per phase. The executor now lives in
+// sim::Runtime (see runtime.hpp and DESIGN.md, "Runtime sessions"), which
+// persists arenas and the shard thread pool across an entire pipeline of
+// phases. Engine remains as the convenience shape for one-off runs (tests,
+// microbenches, programs that simulate on a derived graph): it is exactly a
+// Runtime plus a run() that returns the phase stats by value.
 //
-// Programs are written against the VertexProgram interface:
-//   * begin(ctx)         -- local initialization; may send and/or halt.
-//   * step(ctx, inbox)   -- called once per round for every non-halted
-//                           vertex with the messages delivered this round.
-//
-// A vertex that halts stops participating; the run ends when every vertex
-// has halted (stats.rounds then equals the number of communication rounds
-// consumed) or throws when max_rounds is exceeded.
-//
-// Global algorithm parameters (n, degree bounds, palette parameters, the
-// arboricity bound) may be baked into a program: in the LOCAL model these
-// are standard global knowledge. All topology information, however, must
-// flow through messages.
-//
-// Runtime architecture (see DESIGN.md, "Mailbox runtime"): messages are
-// slot-routed through a double-buffered arena. A send on (v, port) lands
-// directly in the mirror slot's inbox cell via the Graph's O(1) mirror map;
-// payload words are appended to a flat per-shard word buffer. There is no
-// per-message heap allocation and no per-round sorting -- delivery is a
-// linear sweep over each active vertex's ports. A vertex may send at most
-// one message per incident edge per round (the standard LOCAL convention;
-// violating it throws invariant_error).
-//
-// Sharded execution: the vertex set is split into `shards` fixed contiguous
-// blocks; each round, shards step their vertices concurrently and write
-// into per-shard arenas that are merged in canonical slot order (implicitly:
-// every inbox cell has a unique writer, so the merge is free). RunStats and
-// all program outputs are bit-identical for every shard count.
+// New code composing multiple phases should take a Runtime& and call
+// run_phase() so arenas, threads and the PhaseLog are shared; see the
+// algorithm drivers for the pattern.
 #pragma once
 
-#include <array>
-#include <cstdint>
-#include <exception>
-#include <functional>
-#include <initializer_list>
-#include <span>
-#include <string>
-#include <vector>
-
-#include "graph/graph.hpp"
+#include "sim/runtime.hpp"
 
 namespace dvc::sim {
 
-struct RunStats {
-  int rounds = 0;
-  std::uint64_t messages = 0;
-  std::uint64_t words = 0;
-  /// Number of non-halted vertices at the start of each round. Sequential
-  /// phase composition (operator+=) concatenates, so a composed driver's
-  /// profile covers its whole pipeline. Used to validate the paper's
-  /// Section 1.4 parallelism claim ("all vertices are active at (almost)
-  /// all times").
-  std::vector<std::int32_t> active_per_round;
-
-  RunStats& operator+=(const RunStats& other) {
-    rounds += other.rounds;
-    messages += other.messages;
-    words += other.words;
-    active_per_round.insert(active_per_round.end(),
-                            other.active_per_round.begin(),
-                            other.active_per_round.end());
-    return *this;
-  }
-};
-
-/// One received message: the port it arrived on and its payload words.
-/// The data span points into the engine's arena and is valid only for the
-/// duration of the step() call that receives it.
-struct MsgView {
-  int port;
-  std::span<const std::int64_t> data;
-};
-
-/// The messages a vertex received at the start of the current round,
-/// ordered by arrival port.
-class Inbox {
- public:
-  std::size_t size() const { return msgs_.size(); }
-  bool empty() const { return msgs_.empty(); }
-  const MsgView& operator[](std::size_t i) const { return msgs_[i]; }
-  auto begin() const { return msgs_.begin(); }
-  auto end() const { return msgs_.end(); }
-
- private:
-  friend class Engine;
-  std::vector<MsgView> msgs_;
-};
-
-class Engine;
-
-/// Per-vertex API handed to VertexProgram callbacks.
-class Ctx {
- public:
-  V vertex() const { return v_; }
-  /// Unique identity in {1..n} as assumed by the paper.
-  std::int64_t id() const { return v_ + 1; }
-  int degree() const;
-  int round() const;
-
-  /// Sends `payload` to the neighbor on `port`. Zero-copy into the mailbox
-  /// arena: the words are copied once, directly into the receiver's inbox
-  /// cell. At most one send per port per round.
-  void send(int port, std::span<const std::int64_t> payload);
-  /// Fixed-word fast path: `ctx.send(p, {a, b, c})` stages the words on the
-  /// caller's stack, no heap traffic.
-  void send(int port, std::initializer_list<std::int64_t> payload) {
-    send(port, std::span<const std::int64_t>(payload.begin(), payload.size()));
-  }
-  void broadcast(std::span<const std::int64_t> payload);
-  void broadcast(std::initializer_list<std::int64_t> payload) {
-    broadcast(std::span<const std::int64_t>(payload.begin(), payload.size()));
-  }
-  void halt();
-
-  /// Engine-owned scratch buffer (cleared by nobody: callers .clear() it).
-  /// One instance per executor shard, so programs that need transient
-  /// per-step workspace stay allocation-free AND race-free under sharded
-  /// execution. `which` selects one of kNumScratch independent buffers.
-  std::vector<std::int64_t>& scratch(int which = 0);
-
-  static constexpr int kNumScratch = 2;
-
- private:
-  friend class Engine;
-  Ctx(Engine& e, int shard, V v) : engine_(&e), shard_(shard), v_(v) {}
-  Engine* engine_;
-  int shard_;
-  V v_;
-};
-
-class VertexProgram {
- public:
-  virtual ~VertexProgram() = default;
-  virtual std::string name() const = 0;
-  virtual void begin(Ctx& ctx) { (void)ctx; }
-  virtual void step(Ctx& ctx, const Inbox& inbox) = 0;
-};
-
 class Engine {
  public:
-  /// `shards` <= 0 picks the process-wide default (set_default_shards);
+  /// `shards` <= 0 picks the thread default (Runtime::set_default_shards);
   /// shard counts above n are clamped. Any shard count yields bit-identical
   /// RunStats and program outputs.
-  explicit Engine(const Graph& g, int shards = 0);
+  explicit Engine(const Graph& g, int shards = 0) : rt_(g, shards) {}
 
   /// Runs the program to completion (all vertices halted). Throws
   /// invariant_error if max_rounds is exceeded -- which the library treats
   /// as "the algorithm's structural assumption was violated" (e.g. an
   /// arboricity bound below the true arboricity).
-  RunStats run(VertexProgram& program, int max_rounds);
+  RunStats run(VertexProgram& program, int max_rounds) {
+    return rt_.run_phase(program, max_rounds);
+  }
 
-  const Graph& graph() const { return *g_; }
-  int shards() const { return num_shards_; }
+  const Graph& graph() const { return rt_.graph(); }
+  int shards() const { return rt_.shards(); }
+
+  /// The underlying session (phase log, observers, reuse across runs).
+  Runtime& runtime() { return rt_; }
+  const Runtime& runtime() const { return rt_; }
 
   /// Called after every completed round (post stats merge) with the round
   /// number; used by tests to probe per-round behaviour such as allocation
   /// counts. Pass nullptr to clear.
   void set_round_observer(std::function<void(int)> observer) {
-    observer_ = std::move(observer);
+    rt_.set_round_observer(std::move(observer));
   }
 
-  /// Per-thread default shard count used by Engine(g) construction in the
-  /// algorithm drivers (thread-local so concurrent drivers with different
-  /// Knobs::shards cannot contaminate each other). Values < 1 become 1.
-  static void set_default_shards(int shards);
-  static int default_shards();
+  static void set_default_shards(int shards) {
+    Runtime::set_default_shards(shards);
+  }
+  static int default_shards() { return Runtime::default_shards(); }
 
  private:
-  friend class Ctx;
-
-  /// One direction of the double buffer. Slot s (a directed edge endpoint)
-  /// holds at most one message per round; `epoch[s]` stamps the round that
-  /// last wrote it, so stale cells are skipped without any per-round clear.
-  /// Payload words live in flat per-shard buffers (`words[shard]`) to keep
-  /// concurrent appends race-free; `off/len` locate a slot's payload inside
-  /// the sending shard's buffer.
-  struct Arena {
-    std::vector<std::int32_t> epoch;
-    std::vector<std::uint32_t> off;
-    std::vector<std::uint32_t> len;
-    std::vector<std::vector<std::int64_t>> words;  // one per shard
-  };
-
-  /// Mutable per-shard executor state. Everything a concurrent shard writes
-  /// lives here (or in cells of the out-arena owned by this shard's
-  /// vertices), so the round loop needs no locks.
-  struct Shard {
-    V first = 0, last = 0;  // vertex range [first, last)
-    Inbox inbox;
-    std::array<std::vector<std::int64_t>, Ctx::kNumScratch> scratch;
-    std::uint64_t messages = 0;
-    std::uint64_t words = 0;
-    V newly_halted = 0;
-    std::exception_ptr error;
-  };
-
-  int shard_of(V v) const { return static_cast<int>(v / chunk_); }
-  void do_send(int shard, V from, int port, std::span<const std::int64_t> payload);
-  void do_halt(int shard, V v);
-  /// Runs begin() (round 0) or step() for every live vertex of one shard.
-  void run_shard_phase(int shard, VertexProgram& program, bool is_begin);
-  /// Folds per-shard counters into stats_/live_ (serial, canonical order)
-  /// and rethrows the first shard error.
-  void merge_shards();
-
-  const Graph* g_;
-  int num_shards_ = 1;
-  V chunk_ = 1;
-  std::vector<Shard> shards_;
-  Arena arenas_[2];
-  int in_idx_ = 0;  // arenas_[in_idx_] feeds this round's inboxes
-  std::vector<std::uint8_t> halted_;
-  V live_ = 0;
-  int round_ = 0;
-  RunStats stats_;
-  std::function<void(int)> observer_;
-
-  static thread_local int default_shards_;
+  Runtime rt_;
 };
-
-/// Scoped override of the calling thread's default shard count; `shards`
-/// <= 0 leaves the current default untouched (no-op guard).
-class ScopedDefaultShards {
- public:
-  explicit ScopedDefaultShards(int shards)
-      : previous_(Engine::default_shards()), active_(shards > 0) {
-    if (active_) Engine::set_default_shards(shards);
-  }
-  ~ScopedDefaultShards() {
-    if (active_) Engine::set_default_shards(previous_);
-  }
-  ScopedDefaultShards(const ScopedDefaultShards&) = delete;
-  ScopedDefaultShards& operator=(const ScopedDefaultShards&) = delete;
-
- private:
-  int previous_;
-  bool active_;
-};
-
-/// Generous default round cap for drivers: c1 * log2(n) * scale + c2.
-int default_round_cap(V n, int scale = 1);
 
 }  // namespace dvc::sim

@@ -1,0 +1,453 @@
+#include "sim/runtime.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace dvc::sim {
+namespace {
+
+std::atomic<std::uint64_t> g_threads_spawned{0};
+
+// Depth counter (not a bool) so machinery scopes nest: the round loop is
+// machinery, program callbacks are not, but Ctx::send called from a callback
+// re-enters machinery.
+thread_local int t_machinery_depth = 0;
+
+struct MachineryScope {
+  MachineryScope() { ++t_machinery_depth; }
+  ~MachineryScope() { --t_machinery_depth; }
+  MachineryScope(const MachineryScope&) = delete;
+  MachineryScope& operator=(const MachineryScope&) = delete;
+};
+
+/// Inverse of MachineryScope: suspends the flag while control is inside a
+/// program callback or a test observer.
+struct ProgramScope {
+  int saved;
+  ProgramScope() : saved(t_machinery_depth) { t_machinery_depth = 0; }
+  ~ProgramScope() { t_machinery_depth = saved; }
+  ProgramScope(const ProgramScope&) = delete;
+  ProgramScope& operator=(const ProgramScope&) = delete;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PhaseLog
+
+RunStats PhaseLog::stats(std::size_t i) const {
+  const Entry& e = entries_[i];
+  RunStats out;
+  out.rounds = e.rounds;
+  out.messages = e.messages;
+  out.words = e.words;
+  if (!e.span) {
+    const auto a = active(e);
+    out.active_per_round.assign(a.begin(), a.end());
+    return out;
+  }
+  for (std::size_t j = i + 1, end = subtree_end(i); j < end; ++j) {
+    if (entries_[j].span) continue;
+    const auto a = active(entries_[j]);
+    out.active_per_round.insert(out.active_per_round.end(), a.begin(), a.end());
+  }
+  return out;
+}
+
+std::size_t PhaseLog::subtree_end(std::size_t i) const {
+  std::size_t j = i + 1;
+  while (j < entries_.size() && entries_[j].depth > entries_[i].depth) ++j;
+  return j;
+}
+
+RunStats PhaseLog::total() const {
+  RunStats out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.depth == 0) {
+      out.rounds += e.rounds;
+      out.messages += e.messages;
+      out.words += e.words;
+    }
+    if (!e.span) {
+      const auto a = active(e);
+      out.active_per_round.insert(out.active_per_round.end(), a.begin(),
+                                  a.end());
+    }
+  }
+  return out;
+}
+
+PhaseLog PhaseLog::slice(std::size_t first) const {
+  PhaseLog out;
+  if (first >= entries_.size()) return out;
+  const std::int32_t base = entries_[first].depth;
+  for (std::size_t i = first; i < entries_.size(); ++i) {
+    Entry e = entries_[i];
+    e.depth -= base;
+    e.name_off = out.intern(name(entries_[i]));
+    const auto a = active(entries_[i]);
+    // Canonical offset 0 for empty ranges (spans, zero-round leaves) keeps
+    // the defaulted operator== semantic: a log equals its slice(0).
+    e.active_off =
+        a.empty() ? 0 : static_cast<std::uint32_t>(out.active_.size());
+    out.active_.insert(out.active_.end(), a.begin(), a.end());
+    out.entries_.push_back(e);
+  }
+  return out;
+}
+
+void PhaseLog::reserve(std::size_t entries, std::size_t name_bytes,
+                       std::size_t active_words) {
+  entries_.reserve(entries);
+  names_.reserve(name_bytes);
+  active_.reserve(active_words);
+}
+
+void PhaseLog::clear() {
+  entries_.clear();
+  names_.clear();
+  active_.clear();
+  depth_ = 0;
+}
+
+std::uint32_t PhaseLog::intern(std::string_view name) {
+  const auto off = static_cast<std::uint32_t>(names_.size());
+  names_.insert(names_.end(), name.begin(), name.end());
+  return off;
+}
+
+std::size_t PhaseLog::open_span(std::string_view name) {
+  Entry e;
+  e.name_off = intern(name);
+  e.name_len = static_cast<std::uint32_t>(name.size());
+  e.depth = depth_++;
+  e.span = true;
+  entries_.push_back(e);
+  return entries_.size() - 1;
+}
+
+void PhaseLog::close_span(std::size_t idx) {
+  --depth_;
+  Entry& e = entries_[idx];
+  // Fold direct children only: nested spans were closed first and already
+  // aggregate their own subtrees.
+  for (std::size_t j = idx + 1; j < entries_.size();) {
+    if (entries_[j].depth <= e.depth) break;
+    if (entries_[j].depth == e.depth + 1) {
+      e.rounds += entries_[j].rounds;
+      e.messages += entries_[j].messages;
+      e.words += entries_[j].words;
+    }
+    j = subtree_end(j);
+  }
+}
+
+void PhaseLog::record(std::string_view name, const RunStats& stats) {
+  Entry e;
+  e.name_off = intern(name);
+  e.name_len = static_cast<std::uint32_t>(name.size());
+  e.depth = depth_;
+  e.rounds = stats.rounds;
+  e.messages = stats.messages;
+  e.words = stats.words;
+  e.active_off = stats.active_per_round.empty()
+                     ? 0
+                     : static_cast<std::uint32_t>(active_.size());
+  e.active_len = static_cast<std::uint32_t>(stats.active_per_round.size());
+  active_.insert(active_.end(), stats.active_per_round.begin(),
+                 stats.active_per_round.end());
+  entries_.push_back(e);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+
+thread_local int Runtime::default_shards_{1};
+
+void Runtime::set_default_shards(int shards) {
+  default_shards_ = shards < 1 ? 1 : shards;
+}
+
+int Runtime::default_shards() { return default_shards_; }
+
+std::uint64_t Runtime::lifetime_threads_spawned() {
+  return g_threads_spawned.load(std::memory_order_relaxed);
+}
+
+bool Runtime::in_machinery() { return t_machinery_depth > 0; }
+
+int Ctx::degree() const { return rt_->graph().degree(v_); }
+int Ctx::round() const { return rt_->round_; }
+
+void Ctx::send(int port, std::span<const std::int64_t> payload) {
+  rt_->do_send(shard_, v_, port, payload);
+}
+
+void Ctx::broadcast(std::span<const std::int64_t> payload) {
+  const int deg = degree();
+  for (int p = 0; p < deg; ++p) rt_->do_send(shard_, v_, p, payload);
+}
+
+void Ctx::halt() { rt_->do_halt(shard_, v_); }
+
+std::vector<std::int64_t>& Ctx::scratch(int which) {
+  DVC_REQUIRE(which >= 0 && which < kNumScratch, "scratch index out of range");
+  return rt_->shards_[static_cast<std::size_t>(shard_)]
+      .scratch[static_cast<std::size_t>(which)];
+}
+
+Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
+  const V n = g.num_vertices();
+  std::int64_t s = shards > 0 ? shards : default_shards();
+  if (s < 1) s = 1;
+  if (n > 0 && s > n) s = n;
+  if (n == 0) s = 1;
+  num_shards_ = static_cast<int>(s);
+  chunk_ = n > 0 ? static_cast<V>((n + s - 1) / s) : 1;
+  shards_.resize(static_cast<std::size_t>(num_shards_));
+  for (int i = 0; i < num_shards_; ++i) {
+    shards_[static_cast<std::size_t>(i)].first = static_cast<V>(
+        std::min<std::int64_t>(n, std::int64_t{i} * chunk_));
+    shards_[static_cast<std::size_t>(i)].last = static_cast<V>(
+        std::min<std::int64_t>(n, (std::int64_t{i} + 1) * chunk_));
+  }
+
+  // All slot- and vertex-sized state is allocated here, once per session;
+  // run_phase only resets it.
+  const auto slots = static_cast<std::size_t>(g.num_slots());
+  for (Arena& arena : arenas_) {
+    arena.epoch.assign(slots, -1);
+    arena.off.assign(slots, 0);
+    arena.len.assign(slots, 0);
+    arena.words.resize(static_cast<std::size_t>(num_shards_));
+  }
+  halted_.assign(static_cast<std::size_t>(n), 0);
+  log_.reserve(/*entries=*/64, /*name_bytes=*/2048, /*active_words=*/4096);
+
+  // Parked worker pool: one thread per extra shard for the lifetime of the
+  // session. Phase boundaries wake it via condition variable; nothing is
+  // ever re-spawned.
+  threads_.reserve(static_cast<std::size_t>(num_shards_ - 1));
+  for (int shard = 1; shard < num_shards_; ++shard) {
+    g_threads_spawned.fetch_add(1, std::memory_order_relaxed);
+    threads_.emplace_back([this, shard] {
+      MachineryScope machinery;
+      std::uint64_t seen = 0;
+      for (;;) {
+        bool is_begin;
+        VertexProgram* program;
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          start_cv_.wait(lock,
+                         [&] { return stopping_ || generation_ != seen; });
+          if (stopping_) return;
+          seen = generation_;
+          is_begin = phase_is_begin_;
+          program = program_;
+        }
+        run_shard_phase(shard, *program, is_begin);
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (--pending_ == 0) done_cv_.notify_one();
+        }
+      }
+    });
+  }
+}
+
+Runtime::~Runtime() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Runtime::do_send(int shard, V from, int port,
+                      std::span<const std::int64_t> payload) {
+  MachineryScope machinery;
+  DVC_REQUIRE(port >= 0 && port < g_->degree(from), "send port out of range");
+  Arena& out = arenas_[1 - in_idx_];
+  const auto s = static_cast<std::size_t>(g_->mirror_slot(g_->slot(from, port)));
+  const std::int32_t stamp = stamp_base_ + round_;
+  DVC_ENSURE(out.epoch[s] != stamp,
+             "at most one message per edge-direction per round (LOCAL model)");
+  out.epoch[s] = stamp;
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  auto& words = out.words[static_cast<std::size_t>(shard)];
+  DVC_ENSURE(words.size() + payload.size() <= 0xffffffffu,
+             "a shard's per-round payload exceeds the 32-bit arena offsets");
+  out.off[s] = static_cast<std::uint32_t>(words.size());
+  out.len[s] = static_cast<std::uint32_t>(payload.size());
+  words.insert(words.end(), payload.begin(), payload.end());
+  sh.messages += 1;
+  sh.words += payload.size();
+}
+
+void Runtime::do_halt(int shard, V v) {
+  auto& h = halted_[static_cast<std::size_t>(v)];
+  if (!h) {
+    h = 1;
+    ++shards_[static_cast<std::size_t>(shard)].newly_halted;
+  }
+}
+
+void Runtime::run_shard_phase(int shard, VertexProgram& program, bool is_begin) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  try {
+    if (is_begin) {
+      for (V v = sh.first; v < sh.last; ++v) {
+        Ctx ctx(*this, shard, v);
+        ProgramScope callback;
+        program.begin(ctx);
+      }
+      return;
+    }
+    const Arena& in = arenas_[in_idx_];
+    const std::int32_t want = stamp_base_ + round_ - 1;
+    // Single-shard fast path: every payload lives in the one word buffer.
+    const std::vector<std::int64_t>* sole_words =
+        num_shards_ == 1 ? in.words.data() : nullptr;
+    Inbox& inbox = sh.inbox;
+    for (V v = sh.first; v < sh.last; ++v) {
+      if (halted_[static_cast<std::size_t>(v)]) continue;
+      inbox.msgs_.clear();
+      const int deg = g_->degree(v);
+      const std::int64_t base = g_->slot(v, 0);
+      for (int p = 0; p < deg; ++p) {
+        const auto s = static_cast<std::size_t>(base + p);
+        if (in.epoch[s] != want) continue;
+        const auto& words =
+            sole_words
+                ? *sole_words
+                : in.words[static_cast<std::size_t>(shard_of(g_->neighbor(v, p)))];
+        inbox.msgs_.push_back(
+            MsgView{p, std::span<const std::int64_t>(
+                           words.data() + in.off[s], in.len[s])});
+      }
+      Ctx ctx(*this, shard, v);
+      ProgramScope callback;
+      program.step(ctx, inbox);
+    }
+  } catch (...) {
+    sh.error = std::current_exception();
+  }
+}
+
+void Runtime::merge_shards() {
+  // Canonical shard order keeps the fold deterministic for any shard count.
+  for (Shard& sh : shards_) {
+    stats_.messages += sh.messages;
+    stats_.words += sh.words;
+    live_ -= sh.newly_halted;
+    sh.messages = 0;
+    sh.words = 0;
+    sh.newly_halted = 0;
+  }
+  // Clear every shard's error before rethrowing the first: a caught failure
+  // must not leave stale exception_ptrs that would poison the next phase on
+  // this (persistent) session.
+  std::exception_ptr first_error;
+  for (Shard& sh : shards_) {
+    if (sh.error && !first_error) first_error = sh.error;
+    sh.error = nullptr;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Runtime::dispatch(bool is_begin) {
+  if (threads_.empty()) {
+    run_shard_phase(0, *program_, is_begin);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    phase_is_begin_ = is_begin;
+    pending_ = static_cast<int>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_shard_phase(0, *program_, is_begin);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
+                                   std::string_view label) {
+  MachineryScope machinery;
+  const V n = g_->num_vertices();
+  // Per-phase reset without freeing: every container below keeps its
+  // capacity from earlier phases of this session. Epoch arenas are not
+  // touched at all -- stamp_base_ leaps past every stamp the previous phase
+  // wrote, so stale cells can never match (O(n) phase start, not O(slots)).
+  if (stamp_base_ >
+      std::numeric_limits<std::int32_t>::max() - std::max(max_rounds, 0) - 2) {
+    for (Arena& arena : arenas_) {
+      std::fill(arena.epoch.begin(), arena.epoch.end(), -1);
+    }
+    stamp_base_ = 0;
+  }
+  // On every exit -- including a round-cap throw mid-phase -- advance the
+  // base past the largest stamp this phase can have written, so a later
+  // phase never observes a stale cell as fresh.
+  struct StampGuard {
+    Runtime& rt;
+    ~StampGuard() { rt.stamp_base_ += rt.round_ + 1; }
+  } stamp_guard{*this};
+
+  std::fill(halted_.begin(), halted_.end(), 0);
+  live_ = n;
+  round_ = 0;
+  stats_.rounds = 0;
+  stats_.messages = 0;
+  stats_.words = 0;
+  stats_.active_per_round.clear();
+  stats_.active_per_round.reserve(
+      static_cast<std::size_t>(std::clamp(max_rounds, 0, 1 << 12)));
+  for (Arena& arena : arenas_) {
+    for (auto& words : arena.words) words.clear();
+  }
+  in_idx_ = 0;  // begin (round 0) writes arenas_[1]; round 1 reads it
+  program_ = &program;
+
+  dispatch(/*is_begin=*/true);
+  merge_shards();
+
+  while (live_ > 0) {
+    DVC_ENSURE(round_ < max_rounds,
+               program.name() + " exceeded the round cap of " +
+                   std::to_string(max_rounds) +
+                   " (likely cause: a structural parameter such as the "
+                   "arboricity bound is below the graph's true value)");
+    ++round_;
+    stats_.active_per_round.push_back(live_);
+    in_idx_ = 1 - in_idx_;
+    for (auto& words : arenas_[1 - in_idx_].words) words.clear();
+    dispatch(/*is_begin=*/false);
+    merge_shards();
+    if (observer_) {
+      ProgramScope callback;
+      observer_(round_);
+    }
+  }
+  program_ = nullptr;
+  stats_.rounds = round_;
+  log_.record(label, stats_);
+  return stats_;
+}
+
+const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds) {
+  return run_phase(program, max_rounds, program.name());
+}
+
+int default_round_cap(V n, int scale) {
+  const int logn = ilog2_ceil(static_cast<std::uint64_t>(std::max<V>(n, 2)));
+  return 64 * logn * std::max(1, scale) + 256;
+}
+
+}  // namespace dvc::sim

@@ -1,0 +1,447 @@
+// Persistent LOCAL-model runtime (the paper's Section 1 machine model).
+//
+// Each vertex hosts a processor that knows only its own id (= vertex + 1,
+// ids in {1..n}), its degree, and its port numbering. Computation proceeds
+// in discrete rounds: every message sent in round r is delivered at the
+// start of round r+1. The runtime counts rounds, messages and payload words;
+// the round count of a run is exactly the paper's "running time".
+//
+// Programs are written against the VertexProgram interface:
+//   * begin(ctx)         -- local initialization; may send and/or halt.
+//   * step(ctx, inbox)   -- called once per round for every non-halted
+//                           vertex with the messages delivered this round.
+//
+// A vertex that halts stops participating; a phase ends when every vertex
+// has halted (stats.rounds then equals the number of communication rounds
+// consumed) or throws when max_rounds is exceeded.
+//
+// Session architecture (see DESIGN.md, "Runtime sessions"): the paper's
+// algorithms are long *compositions* of phases -- Algorithm 2 chains
+// arbdefective refinement, H-partition, layer coloring, orientation and
+// greedy sweeps. A Runtime is the session object for one such pipeline: it
+// owns the graph binding, both mailbox arenas, the halted/live state and
+// the parked shard thread pool, and `run_phase(program, max_rounds, label)`
+// resets per-phase state WITHOUT freeing memory. An entire preset pipeline
+// therefore performs heap allocation only while warming up its first
+// phase(s) and never re-spawns threads at a phase boundary. Every completed
+// phase is recorded in the session's PhaseLog, a flat arena-backed tree of
+// named spans that replaces the hand-maintained `phases` bookkeeping the
+// algorithm drivers used to carry.
+//
+// Mailbox architecture (unchanged from the engine rewrite): messages are
+// slot-routed through a double-buffered arena. A send on (v, port) lands
+// directly in the mirror slot's inbox cell via the Graph's O(1) mirror map;
+// payload words are appended to a flat per-shard word buffer. There is no
+// per-message heap allocation and no per-round sorting -- delivery is a
+// linear sweep over each active vertex's ports. A vertex may send at most
+// one message per incident edge per round (the standard LOCAL convention;
+// violating it throws invariant_error).
+//
+// Sharded execution: the vertex set is split into `shards` fixed contiguous
+// blocks; each round, shards step their vertices concurrently and write
+// into per-shard arenas that are merged in canonical slot order (implicitly:
+// every inbox cell has a unique writer, so the merge is free). RunStats and
+// all program outputs are bit-identical for every shard count.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dvc::sim {
+
+struct RunStats {
+  int rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+  /// Number of non-halted vertices at the start of each round. Sequential
+  /// phase composition (operator+=) concatenates, so a composed driver's
+  /// profile covers its whole pipeline. Used to validate the paper's
+  /// Section 1.4 parallelism claim ("all vertices are active at (almost)
+  /// all times").
+  std::vector<std::int32_t> active_per_round;
+
+  RunStats& operator+=(const RunStats& other) {
+    rounds += other.rounds;
+    messages += other.messages;
+    words += other.words;
+    active_per_round.insert(active_per_round.end(),
+                            other.active_per_round.begin(),
+                            other.active_per_round.end());
+    return *this;
+  }
+
+  /// Sequential composition with `earlier` having run first: used by
+  /// composed drivers that obtain a sub-procedure's stats before their own,
+  /// keeping active_per_round a faithful execution timeline.
+  RunStats& prepend(RunStats earlier) {
+    earlier += *this;
+    *this = std::move(earlier);
+    return *this;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Round-cap constants, audited across all drivers. Caps only bound the
+// round loop (exceeding one throws invariant_error); they never change a
+// program's output, so generosity is free.
+
+/// Cap for one-shot exchange programs (broadcast in begin, respond once in
+/// step, halt): 2 communication rounds plus slack.
+inline constexpr int kOneExchangeRoundCap = 4;
+
+/// Additive slack for schedule-driven programs whose exact round count is
+/// known up front (cap = exact + kRoundCapSlack).
+inline constexpr int kRoundCapSlack = 8;
+
+/// Generous default round cap for open-ended drivers: c1 * log2(n) * scale
+/// + c2.
+int default_round_cap(V n, int scale = 1);
+
+// ---------------------------------------------------------------------------
+// PhaseLog: the unified per-phase bookkeeping record.
+
+/// Flat, arena-backed log of named phase spans. Leaf entries are recorded by
+/// Runtime::run_phase (one per simulated program); aggregate spans are
+/// opened/closed by drivers (via PhaseSpan) so composed procedures appear as
+/// a tree: `legal_coloring` shows `arbdefective -> partial-orientation ->
+/// h-partition/...` with per-phase RunStats at every node.
+///
+/// Storage is three flat arenas (entries, name bytes, active counts), so
+/// recording a phase into a warm log performs no heap allocation. Entry
+/// `depth` encodes the tree: a span's subtree is the maximal following range
+/// of entries with strictly greater depth.
+class PhaseLog {
+ public:
+  struct Entry {
+    std::uint32_t name_off = 0;
+    std::uint32_t name_len = 0;
+    std::int32_t depth = 0;    // nesting level; 0 = top of the slice
+    bool span = false;         // aggregate over the nested subtree
+    std::int32_t rounds = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    std::uint32_t active_off = 0;  // into the active arena (leaves only)
+    std::uint32_t active_len = 0;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const Entry& operator[](std::size_t i) const { return entries_[i]; }
+
+  std::string_view name(const Entry& e) const {
+    return std::string_view(names_.data() + e.name_off, e.name_len);
+  }
+  std::string_view name(std::size_t i) const { return name(entries_[i]); }
+
+  /// Per-round live-vertex counts of a leaf entry (empty for spans; a span's
+  /// profile is the concatenation of its subtree's leaves, see stats()).
+  std::span<const std::int32_t> active(const Entry& e) const {
+    return std::span<const std::int32_t>(active_.data() + e.active_off,
+                                         e.active_len);
+  }
+
+  /// Materializes entry i as a RunStats. For spans, counters are the
+  /// recorded aggregate and active_per_round concatenates the subtree's
+  /// leaves in execution order.
+  RunStats stats(std::size_t i) const;
+
+  /// Index one past the end of entry i's subtree (i + 1 for leaves).
+  std::size_t subtree_end(std::size_t i) const;
+
+  /// Sequential composition of all top-level (depth 0) entries: equals the
+  /// sum of every leaf, since spans aggregate their subtrees.
+  RunStats total() const;
+
+  /// Copy of entries [first, size()) rebased to depth 0. Drivers snapshot
+  /// their slice of a shared session log into their result structs.
+  PhaseLog slice(std::size_t first) const;
+
+  /// Pre-sizes the arenas so that recording stays allocation-free until the
+  /// reserve is exceeded.
+  void reserve(std::size_t entries, std::size_t name_bytes,
+               std::size_t active_words);
+
+  /// Forgets all entries but keeps arena capacity (warm reuse).
+  void clear();
+
+  /// Opens an aggregate span at the current depth; subsequent entries nest
+  /// under it until close_span. Returns the span's entry index.
+  std::size_t open_span(std::string_view name);
+  /// Closes the span, folding its direct children into its counters.
+  void close_span(std::size_t idx);
+
+  /// Appends a leaf entry at the current depth.
+  void record(std::string_view name, const RunStats& stats);
+
+  friend bool operator==(const PhaseLog&, const PhaseLog&) = default;
+
+ private:
+  std::uint32_t intern(std::string_view name);
+
+  std::vector<Entry> entries_;
+  std::vector<char> names_;
+  std::vector<std::int32_t> active_;
+  std::int32_t depth_ = 0;
+};
+
+/// One received message: the port it arrived on and its payload words.
+/// The data span points into the runtime's arena and is valid only for the
+/// duration of the step() call that receives it.
+struct MsgView {
+  int port;
+  std::span<const std::int64_t> data;
+};
+
+/// The messages a vertex received at the start of the current round,
+/// ordered by arrival port.
+class Inbox {
+ public:
+  std::size_t size() const { return msgs_.size(); }
+  bool empty() const { return msgs_.empty(); }
+  const MsgView& operator[](std::size_t i) const { return msgs_[i]; }
+  auto begin() const { return msgs_.begin(); }
+  auto end() const { return msgs_.end(); }
+
+ private:
+  friend class Runtime;
+  std::vector<MsgView> msgs_;
+};
+
+class Runtime;
+
+/// Per-vertex API handed to VertexProgram callbacks.
+class Ctx {
+ public:
+  V vertex() const { return v_; }
+  /// Unique identity in {1..n} as assumed by the paper.
+  std::int64_t id() const { return v_ + 1; }
+  int degree() const;
+  int round() const;
+
+  /// Sends `payload` to the neighbor on `port`. Zero-copy into the mailbox
+  /// arena: the words are copied once, directly into the receiver's inbox
+  /// cell. At most one send per port per round.
+  void send(int port, std::span<const std::int64_t> payload);
+  /// Fixed-word fast path: `ctx.send(p, {a, b, c})` stages the words on the
+  /// caller's stack, no heap traffic.
+  void send(int port, std::initializer_list<std::int64_t> payload) {
+    send(port, std::span<const std::int64_t>(payload.begin(), payload.size()));
+  }
+  void broadcast(std::span<const std::int64_t> payload);
+  void broadcast(std::initializer_list<std::int64_t> payload) {
+    broadcast(std::span<const std::int64_t>(payload.begin(), payload.size()));
+  }
+  void halt();
+
+  /// Runtime-owned scratch buffer (cleared by nobody: callers .clear() it).
+  /// One instance per executor shard, so programs that need transient
+  /// per-step workspace stay allocation-free AND race-free under sharded
+  /// execution. `which` selects one of kNumScratch independent buffers.
+  std::vector<std::int64_t>& scratch(int which = 0);
+
+  static constexpr int kNumScratch = 2;
+
+ private:
+  friend class Runtime;
+  Ctx(Runtime& rt, int shard, V v) : rt_(&rt), shard_(shard), v_(v) {}
+  Runtime* rt_;
+  int shard_;
+  V v_;
+};
+
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+  virtual std::string name() const = 0;
+  virtual void begin(Ctx& ctx) { (void)ctx; }
+  virtual void step(Ctx& ctx, const Inbox& inbox) = 0;
+};
+
+/// Persistent simulation session bound to one graph. Construction allocates
+/// the mailbox arenas and spawns the shard worker pool once; every
+/// run_phase() call afterwards reuses them, so phases after the first (of a
+/// given shape) allocate nothing and no phase boundary ever spawns a
+/// thread. All completed phases are appended to the session PhaseLog.
+class Runtime {
+ public:
+  /// `shards` <= 0 picks the thread-default (set_default_shards); shard
+  /// counts above n are clamped. Any shard count yields bit-identical
+  /// RunStats and program outputs.
+  explicit Runtime(const Graph& g, int shards = 0);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Runs the program to completion (all vertices halted), records a leaf
+  /// entry labelled `label` in the session log, and returns the phase's
+  /// stats (valid until the next run_phase call). Throws invariant_error if
+  /// max_rounds is exceeded -- which the library treats as "the algorithm's
+  /// structural assumption was violated" (e.g. an arboricity bound below
+  /// the true arboricity).
+  const RunStats& run_phase(VertexProgram& program, int max_rounds,
+                            std::string_view label);
+  /// Convenience: labels the phase with program.name().
+  const RunStats& run_phase(VertexProgram& program, int max_rounds);
+
+  const Graph& graph() const { return *g_; }
+  int shards() const { return num_shards_; }
+
+  PhaseLog& log() { return log_; }
+  const PhaseLog& log() const { return log_; }
+  /// Forgets recorded phases but keeps log arena capacity (warm reuse
+  /// across pipeline repetitions, e.g. batched runs).
+  void reset_log() { log_.clear(); }
+
+  /// Called after every completed round (post stats merge) with the round
+  /// number; used by tests to probe per-round behaviour such as allocation
+  /// counts. Pass nullptr to clear.
+  void set_round_observer(std::function<void(int)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Worker threads owned by this session (== shards() - 1; spawned once at
+  /// construction, parked between phases).
+  int pool_threads() const { return static_cast<int>(threads_.size()); }
+  /// Process-wide count of shard worker threads ever spawned. Regression
+  /// hook: a full preset pipeline on one Runtime must not move it.
+  static std::uint64_t lifetime_threads_spawned();
+
+  /// True while the calling thread executes runtime machinery (the round
+  /// loop, delivery sweeps, send/halt bookkeeping, log recording) as
+  /// opposed to program callbacks. Allocation-regression tests hook
+  /// operator new and count only allocations made with this flag set.
+  static bool in_machinery();
+
+  /// Per-thread default shard count used by Runtime(g) construction in the
+  /// algorithm drivers (thread-local so concurrent drivers with different
+  /// Knobs::shards cannot contaminate each other). Values < 1 become 1.
+  static void set_default_shards(int shards);
+  static int default_shards();
+
+ private:
+  friend class Ctx;
+
+  /// One direction of the double buffer. Slot s (a directed edge endpoint)
+  /// holds at most one message per round; `epoch[s]` stamps the *session
+  /// round* (stamp_base_ + round_) that last wrote it, so stale cells are
+  /// skipped without any per-round clear -- and, because stamps increase
+  /// monotonically across phases, without any per-PHASE clear either: a
+  /// warm phase start is O(n), not O(slots). Payload words live in flat
+  /// per-shard buffers (`words[shard]`) to keep concurrent appends
+  /// race-free; `off/len` locate a slot's payload inside the sending
+  /// shard's buffer.
+  struct Arena {
+    std::vector<std::int32_t> epoch;
+    std::vector<std::uint32_t> off;
+    std::vector<std::uint32_t> len;
+    std::vector<std::vector<std::int64_t>> words;  // one per shard
+  };
+
+  /// Mutable per-shard executor state. Everything a concurrent shard writes
+  /// lives here (or in cells of the out-arena owned by this shard's
+  /// vertices), so the round loop needs no locks.
+  struct Shard {
+    V first = 0, last = 0;  // vertex range [first, last)
+    Inbox inbox;
+    std::array<std::vector<std::int64_t>, Ctx::kNumScratch> scratch;
+    std::uint64_t messages = 0;
+    std::uint64_t words = 0;
+    V newly_halted = 0;
+    std::exception_ptr error;
+  };
+
+  int shard_of(V v) const { return static_cast<int>(v / chunk_); }
+  void do_send(int shard, V from, int port, std::span<const std::int64_t> payload);
+  void do_halt(int shard, V v);
+  /// Runs begin() (round 0) or step() for every live vertex of one shard.
+  void run_shard_phase(int shard, VertexProgram& program, bool is_begin);
+  /// Folds per-shard counters into stats_/live_ (serial, canonical order)
+  /// and rethrows the first shard error.
+  void merge_shards();
+  /// Dispatches one begin/step sweep across the parked pool (or runs it
+  /// inline when single-sharded).
+  void dispatch(bool is_begin);
+
+  const Graph* g_;
+  int num_shards_ = 1;
+  V chunk_ = 1;
+  std::vector<Shard> shards_;
+  Arena arenas_[2];
+  int in_idx_ = 0;  // arenas_[in_idx_] feeds this round's inboxes
+  std::vector<std::uint8_t> halted_;
+  V live_ = 0;
+  int round_ = 0;
+  /// Session-round base of the current phase: epoch stamps are
+  /// stamp_base_ + round_. Advanced past every stamp the finished phase
+  /// wrote; wraps (with a full epoch reset) long before int32 overflow.
+  std::int32_t stamp_base_ = 0;
+  RunStats stats_;
+  PhaseLog log_;
+  std::function<void(int)> observer_;
+
+  // Parked worker pool: spawned once in the constructor, woken per
+  // begin/step sweep, joined in the destructor.
+  std::mutex mutex_;
+  std::condition_variable start_cv_, done_cv_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool phase_is_begin_ = false;
+  bool stopping_ = false;
+  VertexProgram* program_ = nullptr;
+  std::vector<std::thread> threads_;
+
+  static thread_local int default_shards_;
+};
+
+/// RAII aggregate span in a session log: drivers wrap composed procedures
+/// so the PhaseLog shows them as one named subtree.
+class PhaseSpan {
+ public:
+  PhaseSpan(Runtime& rt, std::string_view name)
+      : log_(&rt.log()), idx_(log_->open_span(name)) {}
+  PhaseSpan(PhaseLog& log, std::string_view name)
+      : log_(&log), idx_(log.open_span(name)) {}
+  ~PhaseSpan() { log_->close_span(idx_); }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  PhaseLog* log_;
+  std::size_t idx_;
+};
+
+/// Scoped override of the calling thread's default shard count; `shards`
+/// <= 0 leaves the current default untouched (no-op guard).
+class ScopedDefaultShards {
+ public:
+  explicit ScopedDefaultShards(int shards)
+      : previous_(Runtime::default_shards()), active_(shards > 0) {
+    if (active_) Runtime::set_default_shards(shards);
+  }
+  ~ScopedDefaultShards() {
+    if (active_) Runtime::set_default_shards(previous_);
+  }
+  ScopedDefaultShards(const ScopedDefaultShards&) = delete;
+  ScopedDefaultShards& operator=(const ScopedDefaultShards&) = delete;
+
+ private:
+  int previous_;
+  bool active_;
+};
+
+}  // namespace dvc::sim

@@ -7,50 +7,18 @@
 //      (verified through a global operator-new counting hook).
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <vector>
 
 #include "core/api.hpp"
 #include "graph/generators.hpp"
 #include "sim/engine.hpp"
-
-// ---------------------------------------------------------------------------
-// Global allocation-counting hook. Every allocation in this test binary
-// (including the engine's) bumps the counter; the engine tests below read it
-// per round through Engine::set_round_observer.
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new[](std::size_t size) { return ::operator new(size); }
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size ? size : 1);
-}
-void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
-  return ::operator new(size, tag);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
-void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#include "test_support.hpp"
 
 namespace dvc {
 namespace {
 
-bool same_stats(const sim::RunStats& a, const sim::RunStats& b) {
-  return a.rounds == b.rounds && a.messages == b.messages &&
-         a.words == b.words && a.active_per_round == b.active_per_round;
-}
+using dvc_test::FloodAll;
+using dvc_test::same_stats;
 
 // --- 1. Shard-count invariance across full API presets --------------------
 
@@ -71,11 +39,14 @@ TEST(EngineDeterminism, PresetsAreBitIdenticalAcrossShardCounts) {
           << preset_name(preset) << " stats differ at " << shards << " shards";
       ASSERT_EQ(res.phases.size(), base.phases.size());
       for (std::size_t i = 0; i < res.phases.size(); ++i) {
-        EXPECT_EQ(res.phases[i].first, base.phases[i].first);
-        EXPECT_TRUE(same_stats(res.phases[i].second, base.phases[i].second))
-            << preset_name(preset) << " phase " << res.phases[i].first
+        EXPECT_EQ(res.phases.name(i), base.phases.name(i));
+        EXPECT_TRUE(same_stats(res.phases.stats(i), base.phases.stats(i)))
+            << preset_name(preset) << " phase " << res.phases.name(i)
             << " differs at " << shards << " shards";
       }
+      EXPECT_TRUE(res.phases == base.phases)
+          << preset_name(preset) << " phase log differs at " << shards
+          << " shards";
     }
   }
 }
@@ -160,19 +131,6 @@ TEST(EngineDeterminism, PermutedSendsAndShardsCompose) {
 
 // --- 3. Zero per-message allocations in the warm round loop ---------------
 
-class FloodAll : public sim::VertexProgram {
- public:
-  explicit FloodAll(int rounds) : rounds_(rounds) {}
-  std::string name() const override { return "flood"; }
-  void begin(sim::Ctx& ctx) override { ctx.broadcast({1, 2, 3}); }
-  void step(sim::Ctx& ctx, const sim::Inbox&) override {
-    if (ctx.round() >= rounds_) ctx.halt();
-    else ctx.broadcast({1, 2, 3});
-  }
- private:
-  int rounds_;
-};
-
 TEST(EngineDeterminism, RoundLoopIsAllocationFreeOnceWarm) {
   const Graph g = random_near_regular(2048, 8, 3);
   constexpr int kRounds = 12;
@@ -181,7 +139,7 @@ TEST(EngineDeterminism, RoundLoopIsAllocationFreeOnceWarm) {
   std::vector<std::uint64_t> per_round(kRounds + 2, 0);
   engine.set_round_observer([&per_round](int round) {
     per_round[static_cast<std::size_t>(round)] =
-        g_alloc_count.load(std::memory_order_relaxed);
+        dvc_test::alloc_count();
   });
   const sim::RunStats stats = engine.run(prog, kRounds + 4);
   engine.set_round_observer(nullptr);
@@ -209,7 +167,7 @@ TEST(EngineDeterminism, SecondRunReusesArenas) {
   std::vector<std::uint64_t> per_round(kRounds + 2, 0);
   engine.set_round_observer([&per_round](int round) {
     per_round[static_cast<std::size_t>(round)] =
-        g_alloc_count.load(std::memory_order_relaxed);
+        dvc_test::alloc_count();
   });
   const sim::RunStats stats = engine.run(prog, kRounds + 4);
   for (int r = 2; r <= stats.rounds; ++r) {
