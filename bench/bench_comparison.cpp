@@ -2,12 +2,18 @@
 // comparison as a table): every preset of this library against every
 // baseline on a common workload. Each row is also appended to
 // BENCH_comparison.json (family, n, Delta, colors, rounds, messages,
-// wall-ms) so the trajectory is tracked across PRs.
+// bandwidth, wall-ms) so the trajectory is tracked across PRs.
+//
+// Bandwidth axis: every preset row runs under the CONGEST budget
+// (Knobs::congest_words = kCongestWordsPaperPath), so the bench itself
+// proves the pipelines conform to the O(log n)-bit message model; records
+// carry total_words and max_msg_words.
 //
 // Paper prediction: reading each row block, the BE10 presets dominate the
 // deterministic baselines -- fewer colors than Linial at polylog cost,
 // asymptotically fewer rounds than BE08 at comparable colors -- while the
 // randomized baselines match rounds but lose determinism.
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <string>
@@ -41,11 +47,17 @@ int main() {
   for (const auto& [label, family, a, g] : workloads) {
     std::cout << "== workload: " << label << " (Delta=" << g.max_degree()
               << ") ==\n";
-    Table table({"algorithm", "deterministic", "colors", "rounds", "messages"});
+    Table table({"algorithm", "deterministic", "colors", "rounds", "messages",
+                 "B(words)"});
     auto record = [&](const std::string& algorithm, const char* deterministic,
-                      std::int64_t colors, int rounds, std::uint64_t messages,
+                      std::int64_t colors, const sim::RunStats& stats,
                       double wall_ms) {
-      table.row(algorithm, deterministic, colors, rounds, messages);
+      table.row(algorithm, deterministic, colors, stats.rounds, stats.messages,
+                stats.max_msg_words);
+      std::uint64_t peak_round_words = 0;
+      for (const std::uint64_t w : stats.words_per_round) {
+        peak_round_words = std::max(peak_round_words, w);
+      }
       sink.add(benchio::JsonRecord()
                    .field("bench", "comparison")
                    .field("algorithm", algorithm)
@@ -54,17 +66,24 @@ int main() {
                    .field("n", static_cast<std::int64_t>(g.num_vertices()))
                    .field("delta", g.max_degree())
                    .field("colors", colors)
-                   .field("rounds", rounds)
-                   .field("messages", messages)
+                   .field("rounds", stats.rounds)
+                   .field("messages", stats.messages)
+                   .field("total_words", stats.words)
+                   .field("max_msg_words",
+                          static_cast<std::int64_t>(stats.max_msg_words))
+                   .field("peak_round_words", peak_round_words)
                    .field("wall_ms", wall_ms));
     };
+    // Presets run under the CONGEST budget: a send wider than
+    // kCongestWordsPaperPath words would abort the bench.
+    Knobs knobs;
+    knobs.congest_words = kCongestWordsPaperPath;
     for (const Preset preset :
          {Preset::LinearColors, Preset::NearLinearColors, Preset::PolylogTime,
           Preset::TradeoffAT}) {
       const auto t0 = Clock::now();
-      const LegalColoringResult res = color_graph(g, a, preset);
-      record(preset_name(preset), "yes", res.distinct, res.total.rounds,
-             res.total.messages, ms_since(t0));
+      const LegalColoringResult res = color_graph(g, a, preset, knobs);
+      record(preset_name(preset), "yes", res.distinct, res.total, ms_since(t0));
       // Per-phase breakdown from the session PhaseLog: one record per tree
       // node, `depth`/`span` encode the nesting.
       for (std::size_t i = 0; i < res.phases.size(); ++i) {
@@ -80,14 +99,16 @@ int main() {
                      .field("span", entry.span ? 1 : 0)
                      .field("rounds", entry.rounds)
                      .field("messages", entry.messages)
-                     .field("words", entry.words));
+                     .field("words", entry.words)
+                     .field("max_msg_words",
+                            static_cast<std::int64_t>(entry.max_msg_words)));
       }
     }
     {
       const auto t0 = Clock::now();
       const DefectiveResult res = linial_coloring(g, g.max_degree());
       record("linial87 O(Delta^2)", "yes", distinct_colors(res.colors),
-             res.stats.rounds, res.stats.messages, ms_since(t0));
+             res.stats, ms_since(t0));
     }
     {
       // BE08 Lemma 2.2(1).
@@ -98,18 +119,18 @@ int main() {
       sim::RunStats total = ori.total;
       total += greedy.stats;
       record("be08 (2+eps)a+1 colors", "yes", distinct_colors(greedy.colors),
-             total.rounds, total.messages, ms_since(t0));
+             total, ms_since(t0));
     }
     {
       const auto t0 = Clock::now();
       const RandColoringResult res = randomized_delta_plus_one(g, 7);
       record("randomized Delta+1", "no", distinct_colors(res.colors),
-             res.stats.rounds, res.stats.messages, ms_since(t0));
+             res.stats, ms_since(t0));
     }
     {
       const auto t0 = Clock::now();
       const GreedyResult res = greedy_coloring(g, GreedyOrder::ByDegeneracy);
-      record("greedy (centralized ref)", "-", res.colors_used, 0, 0,
+      record("greedy (centralized ref)", "-", res.colors_used, sim::RunStats{},
              ms_since(t0));
     }
     table.print(std::cout);

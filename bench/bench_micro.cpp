@@ -173,6 +173,8 @@ void bench_flood_throughput(benchio::JsonSink& sink) {
                  .field("rounds", stats.rounds)
                  .field("messages", stats.messages)
                  .field("words", stats.words)
+                 .field("max_msg_words",
+                        static_cast<std::int64_t>(stats.max_msg_words))
                  .field("wall_ms", mailbox_ms)
                  .field("msgs_per_sec", mailbox_mps)
                  .field("speedup_vs_packet_engine", speedup));
@@ -311,7 +313,11 @@ void bench_substrate(benchio::JsonSink& sink) {
     const double ms = ms_since(t0);
     std::cout << "legal_coloring n=" << g.num_vertices() << ": " << ms
               << " ms (" << res.distinct << " colors, " << res.total.rounds
-              << " rounds)\n";
+              << " rounds, B=" << res.total.max_msg_words << " words/msg)\n";
+    std::uint64_t peak_round_words = 0;
+    for (const std::uint64_t w : res.total.words_per_round) {
+      peak_round_words = std::max(peak_round_words, w);
+    }
     sink.add(benchio::JsonRecord()
                  .field("bench", "legal_coloring")
                  .field("family", "planted_arboricity")
@@ -319,6 +325,10 @@ void bench_substrate(benchio::JsonSink& sink) {
                  .field("delta", g.max_degree())
                  .field("rounds", res.total.rounds)
                  .field("messages", res.total.messages)
+                 .field("total_words", res.total.words)
+                 .field("max_msg_words",
+                        static_cast<std::int64_t>(res.total.max_msg_words))
+                 .field("peak_round_words", peak_round_words)
                  .field("wall_ms", ms));
     // Per-phase breakdown from the session PhaseLog (depth encodes the
     // span tree; spans aggregate their subtrees).
@@ -331,7 +341,9 @@ void bench_substrate(benchio::JsonSink& sink) {
                    .field("span", entry.span ? 1 : 0)
                    .field("rounds", entry.rounds)
                    .field("messages", entry.messages)
-                   .field("words", entry.words));
+                   .field("words", entry.words)
+                   .field("max_msg_words",
+                          static_cast<std::int64_t>(entry.max_msg_words)));
     }
   }
   {

@@ -34,6 +34,7 @@ class ColeVishkinProgram : public sim::VertexProgram {
   }
 
   std::string name() const override { return "cole-vishkin"; }
+  int max_words() const override { return cole_vishkin_max_words(); }
 
   void begin(sim::Ctx& ctx) override {
     ctx.broadcast({colors_[static_cast<std::size_t>(ctx.vertex())]});

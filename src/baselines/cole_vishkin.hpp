@@ -13,6 +13,10 @@
 
 namespace dvc {
 
+/// CONGEST contract of the cole-vishkin program: every message is the
+/// sender's current color, one word, independent of n.
+constexpr int cole_vishkin_max_words() { return 1; }
+
 struct RingColoringResult {
   Coloring colors;  // values in {0, 1, 2}
   sim::RunStats stats;

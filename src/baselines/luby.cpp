@@ -19,6 +19,7 @@ class LubyProgram : public sim::VertexProgram {
         my_priority_(static_cast<std::size_t>(g.num_vertices()), 0) {}
 
   std::string name() const override { return "luby-mis"; }
+  int max_words() const override { return luby_max_words(); }
 
   void begin(sim::Ctx& ctx) override { draw_and_announce(ctx); }
 

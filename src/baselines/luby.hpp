@@ -11,6 +11,10 @@
 
 namespace dvc {
 
+/// CONGEST contract of the luby-mis program: priority announcements carry
+/// {tag, draw, id} -- three words, independent of n and Delta.
+constexpr int luby_max_words() { return 3; }
+
 MisResult luby_mis(sim::Runtime& rt, std::uint64_t seed);
 
 inline MisResult luby_mis(const Graph& g, std::uint64_t seed) {

@@ -22,6 +22,7 @@ class TrialColoringProgram : public sim::VertexProgram {
         proposal_(static_cast<std::size_t>(g.num_vertices()), -1) {}
 
   std::string name() const override { return "randomized-trial-coloring"; }
+  int max_words() const override { return rand_coloring_max_words(); }
 
   void begin(sim::Ctx& ctx) override { propose(ctx); }
 

@@ -14,6 +14,10 @@
 
 namespace dvc {
 
+/// CONGEST contract of the randomized-trial-coloring program: every message
+/// is {tag, color} -- two words.
+constexpr int rand_coloring_max_words() { return 2; }
+
 struct RandColoringResult {
   Coloring colors;
   std::int64_t palette = 0;  // Delta + 1

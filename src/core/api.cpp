@@ -24,6 +24,7 @@ std::string preset_name(Preset p) {
 LegalColoringResult color_graph(sim::Runtime& rt, int arboricity_bound,
                                 Preset preset, const Knobs& knobs) {
   DVC_REQUIRE(arboricity_bound >= 1, "arboricity bound must be >= 1");
+  const sim::ScopedCongestWords congest_guard(rt, knobs.congest_words);
   switch (preset) {
     case Preset::LinearColors:
       return legal_coloring_linear(rt, arboricity_bound, knobs.mu, knobs.eps);
@@ -59,6 +60,7 @@ LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset pre
 }
 
 MisResult mis_graph(sim::Runtime& rt, int arboricity_bound, const Knobs& knobs) {
+  const sim::ScopedCongestWords congest_guard(rt, knobs.congest_words);
   return deterministic_mis(rt, arboricity_bound, knobs.mu, knobs.eps);
 }
 

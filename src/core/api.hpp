@@ -30,6 +30,14 @@ enum class Preset {
   DeltaPlusOneLowArb,
 };
 
+/// Worst-case per-message payload width over every VertexProgram on the
+/// paper path (the orient exchanges carry {group, key1, key2}); running a
+/// preset with Knobs::congest_words = kCongestWordsPaperPath executes it as
+/// a CONGEST algorithm -- any wider send raises sim::bandwidth_error. Each
+/// word carries one O(log n)-bit quantity, so this matches the paper's
+/// O(log n)-bit message guarantee.
+inline constexpr int kCongestWordsPaperPath = 3;
+
 struct Knobs {
   double mu = 0.5;   // LinearColors / TradeoffAT exponent
   double eta = 0.5;  // NearLinearColors / DeltaPlusOneLowArb exponent
@@ -39,6 +47,14 @@ struct Knobs {
   /// Executor shards for every simulated phase (0 = keep thread default).
   /// Results are bit-identical for any value; only wall-clock changes.
   int shards = 0;
+  /// Machine-model choice: per-message payload budget in words. 0 (default)
+  /// keeps the session's budget -- unlimited on a fresh session, i.e. the
+  /// LOCAL model. Positive values run the pipeline in the CONGEST model:
+  /// any message wider than the budget raises sim::bandwidth_error naming
+  /// vertex/port/round. kCongestWordsPaperPath admits every paper-path
+  /// program. Metering itself is always on (RunStats/PhaseLog bandwidth
+  /// counters); the budget only adds enforcement.
+  int congest_words = 0;
 };
 
 std::string preset_name(Preset p);
@@ -52,7 +68,8 @@ LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset pre
 
 /// Same, on a caller-provided session (batched runs, custom phase logging,
 /// regression probes). rt.graph() is the input; knobs.shards is ignored --
-/// the session's shard count applies.
+/// the session's shard count applies. knobs.congest_words > 0 imposes the
+/// CONGEST budget for the duration of the call (restored afterwards).
 LegalColoringResult color_graph(sim::Runtime& rt, int arboricity_bound,
                                 Preset preset, const Knobs& knobs = Knobs{});
 

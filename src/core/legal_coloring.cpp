@@ -118,6 +118,7 @@ LegalColoringResult legal_coloring(sim::Runtime& rt, int arboricity_bound, int p
                     const std::vector<int>& level, const Coloring& psi)
           : g_(&graph), sigma_(&s), groups_(&grp), level_(&level), psi_(&psi) {}
       std::string name() const override { return "final-orient"; }
+      int max_words() const override { return final_orient_max_words(); }
       void begin(sim::Ctx& ctx) override {
         const V v = ctx.vertex();
         ctx.broadcast({(*groups_)[static_cast<std::size_t>(v)],

@@ -38,6 +38,10 @@
 
 namespace dvc {
 
+/// CONGEST contract of the final-orient exchange in Legal-Coloring's last
+/// stage: every message is {group, H-level, layer color} -- three words.
+constexpr int final_orient_max_words() { return 3; }
+
 struct LegalColoringResult {
   Coloring colors;  // dense values in [0, distinct)
   int distinct = 0;

@@ -14,6 +14,7 @@ class ColorSweepProgram : public sim::VertexProgram {
         blocked_(static_cast<std::size_t>(g.num_vertices()), 0) {}
 
   std::string name() const override { return "mis-color-sweep"; }
+  int max_words() const override { return mis_sweep_max_words(); }
 
   void begin(sim::Ctx& ctx) override { maybe_decide(ctx, 0); }
 

@@ -16,6 +16,10 @@
 
 namespace dvc {
 
+/// CONGEST contract of the mis-color-sweep program: the only message is a
+/// one-word "joined" notification.
+constexpr int mis_sweep_max_words() { return 1; }
+
 struct MisResult {
   std::vector<std::uint8_t> in_mis;
   int colors_used = 0;  // 0 when the algorithm is not coloring-based

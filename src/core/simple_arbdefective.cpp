@@ -20,10 +20,14 @@ class SimpleArbProgram : public sim::VertexProgram {
         histogram_(static_cast<std::size_t>(g.num_vertices())) {}
 
   std::string name() const override { return "simple-arbdefective"; }
+  int max_words() const override { return simple_arbdefective_max_words(); }
 
   void begin(sim::Ctx& ctx) override {
     // Round 0: announce group so everyone can identify same-group parents.
-    ctx.broadcast({group_of(ctx.vertex()), /*is_color=*/0, 0});
+    // Messages are round-keyed (CONGEST tightening): anything received in
+    // round 1 is this one-word announcement; later messages are two-word
+    // {group, color} selections -- a vertex selects exactly once and halts.
+    ctx.broadcast({group_of(ctx.vertex())});
   }
 
   void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
@@ -40,9 +44,9 @@ class SimpleArbProgram : public sim::VertexProgram {
       return;
     }
     for (const sim::MsgView& msg : inbox) {
-      if (msg.data[0] != mine || msg.data[1] != 1) continue;
+      if (msg.data[0] != mine) continue;
       if (!sigma_->is_out(v, msg.port)) continue;
-      ++histogram_[static_cast<std::size_t>(v)][static_cast<std::size_t>(msg.data[2])];
+      ++histogram_[static_cast<std::size_t>(v)][static_cast<std::size_t>(msg.data[1])];
       --pending_[static_cast<std::size_t>(v)];
     }
     if (pending_[static_cast<std::size_t>(v)] == 0) select_and_finish(ctx, v, mine);
@@ -65,7 +69,7 @@ class SimpleArbProgram : public sim::VertexProgram {
       }
     }
     colors_[static_cast<std::size_t>(v)] = best;
-    ctx.broadcast({mine, /*is_color=*/1, best});
+    ctx.broadcast({mine, best});
     ctx.halt();
   }
 

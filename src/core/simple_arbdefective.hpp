@@ -19,6 +19,11 @@
 
 namespace dvc {
 
+/// CONGEST contract of the simple-arbdefective program: round-keyed like
+/// greedy-by-orientation -- round-1 messages are one-word group
+/// announcements, later messages are {group, color} -- two words.
+constexpr int simple_arbdefective_max_words() { return 2; }
+
 struct SimpleArbResult {
   Coloring colors;  // values in [0, k)
   int k = 0;

@@ -16,6 +16,7 @@ class ForestLabelProgram : public sim::VertexProgram {
       : g_(&g), sigma_(&sigma), forest_of_slot_(&forest_of_slot) {}
 
   std::string name() const override { return "forest-labels"; }
+  int max_words() const override { return forest_labels_max_words(); }
 
   void begin(sim::Ctx& ctx) override {
     const V v = ctx.vertex();

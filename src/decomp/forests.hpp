@@ -16,6 +16,10 @@
 
 namespace dvc {
 
+/// CONGEST contract of the forest-labels program: each out-edge is told its
+/// forest index, one word (indices are < Delta).
+constexpr int forest_labels_max_words() { return 1; }
+
 struct ForestsDecomposition {
   /// forest_of_slot[s] = forest index (0-based) of the edge at slot s, the
   /// same value on both slots of an edge; -1 for edges in no forest

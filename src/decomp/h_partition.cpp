@@ -17,6 +17,7 @@ class HPartitionProgram : public sim::VertexProgram {
         level_(static_cast<std::size_t>(g.num_vertices()), -1) {}
 
   std::string name() const override { return "h-partition"; }
+  int max_words() const override { return h_partition_max_words(); }
 
   void begin(sim::Ctx& ctx) override {
     ctx.broadcast({group_of(ctx.vertex())});

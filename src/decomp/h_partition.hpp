@@ -20,6 +20,10 @@
 
 namespace dvc {
 
+/// CONGEST contract of the h-partition program: every message is the
+/// sender's group label, one word, independent of n and Delta.
+constexpr int h_partition_max_words() { return 1; }
+
 struct HPartitionResult {
   std::vector<int> level;  // H-index per vertex, 0-based
   int num_levels = 0;

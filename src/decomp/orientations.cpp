@@ -21,6 +21,7 @@ class OrientExchangeProgram : public sim::VertexProgram {
       : g_(&g), sigma_(&sigma), groups_(groups), key1_(&key1), key2_(&key2) {}
 
   std::string name() const override { return "orient-exchange"; }
+  int max_words() const override { return orient_exchange_max_words(); }
 
   void begin(sim::Ctx& ctx) override {
     const V v = ctx.vertex();

@@ -37,6 +37,12 @@
 
 namespace dvc {
 
+/// CONGEST contract of the orient-exchange program: every message is
+/// {group, key1, key2} -- three words (the widest payload on the paper
+/// path; each key is an O(log n)-bit quantity: an H-index, an id or a
+/// layer color).
+constexpr int orient_exchange_max_words() { return 3; }
+
 struct OrientationResult {
   Orientation sigma;
   HPartitionResult hp;

@@ -26,6 +26,7 @@ class RecolorProgram : public sim::VertexProgram {
         colors_(std::move(initial)) {}
 
   std::string name() const override { return "poly-recolor"; }
+  int max_words() const override { return recolor_max_words(); }
 
   void begin(sim::Ctx& ctx) override {
     if (schedule_.empty()) {

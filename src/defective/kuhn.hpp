@@ -25,6 +25,10 @@
 
 namespace dvc {
 
+/// CONGEST contract of the shared recoloring program (kuhn-defective,
+/// linial, arb-recolor): every message is {group, color} -- two words.
+constexpr int recolor_max_words() { return 2; }
+
 struct DefectiveResult {
   Coloring colors;
   std::int64_t palette = 0;  // colors are in [0, palette)

@@ -13,7 +13,11 @@ std::int64_t group_at(const std::vector<std::int64_t>* groups, V v) {
 
 // Greedy along an orientation: round 1 exchanges groups so every vertex can
 // identify its same-group parents; afterwards a vertex that has heard the
-// colors of all parents picks the smallest free color and halts.
+// colors of all parents picks the smallest free color and halts. Messages
+// are round-keyed (CONGEST tightening): a message received in round 1 is a
+// one-word group announcement from begin(); any later message is a
+// two-word {group, color} -- a vertex announces its color exactly once and
+// halts, so no group announcements exist after round 1.
 class GreedyByOrientationProgram : public sim::VertexProgram {
  public:
   GreedyByOrientationProgram(const Graph& g, const Orientation& sigma,
@@ -28,9 +32,10 @@ class GreedyByOrientationProgram : public sim::VertexProgram {
         parent_colors_(static_cast<std::size_t>(g.num_vertices())) {}
 
   std::string name() const override { return "greedy-by-orientation"; }
+  int max_words() const override { return greedy_by_orientation_max_words(); }
 
   void begin(sim::Ctx& ctx) override {
-    ctx.broadcast({group_at(groups_, ctx.vertex()), /*is_color=*/0, 0});
+    ctx.broadcast({group_at(groups_, ctx.vertex())});
   }
 
   void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
@@ -49,9 +54,9 @@ class GreedyByOrientationProgram : public sim::VertexProgram {
       return;
     }
     for (const sim::MsgView& msg : inbox) {
-      if (msg.data[0] != mine || msg.data[1] != 1) continue;
+      if (msg.data[0] != mine) continue;
       if (!sigma_->is_out(v, msg.port)) continue;
-      parent_colors_[static_cast<std::size_t>(v)].push_back(msg.data[2]);
+      parent_colors_[static_cast<std::size_t>(v)].push_back(msg.data[1]);
       --pending_[static_cast<std::size_t>(v)];
     }
     if (pending_[static_cast<std::size_t>(v)] == 0) {
@@ -72,7 +77,7 @@ class GreedyByOrientationProgram : public sim::VertexProgram {
     }
     DVC_ENSURE(pick < palette_, "palette must exceed max parent count");
     colors_[static_cast<std::size_t>(v)] = pick;
-    ctx.broadcast({mine, /*is_color=*/1, pick});
+    ctx.broadcast({mine, pick});
     ctx.halt();
   }
 
@@ -100,6 +105,7 @@ class NaiveReduceProgram : public sim::VertexProgram {
         port_colors_(static_cast<std::size_t>(g.num_slots()), -1) {}
 
   std::string name() const override { return "naive-reduce"; }
+  int max_words() const override { return naive_reduce_max_words(); }
 
   void begin(sim::Ctx& ctx) override {
     const V v = ctx.vertex();
@@ -183,6 +189,7 @@ class KwReduceProgram : public sim::VertexProgram {
   }
 
   std::string name() const override { return "kw-reduce"; }
+  int max_words() const override { return kw_reduce_max_words(); }
 
   int total_rounds() const {
     return 1 + static_cast<int>(palettes_.size() - 1) * static_cast<int>(half_);

@@ -24,6 +24,13 @@
 
 namespace dvc {
 
+/// CONGEST contracts. greedy-by-orientation is round-keyed: round-1
+/// messages announce the sender's group (one word), later messages carry
+/// {group, color} -- two words. The reductions broadcast {group, color}.
+constexpr int greedy_by_orientation_max_words() { return 2; }
+constexpr int naive_reduce_max_words() { return 2; }
+constexpr int kw_reduce_max_words() { return 2; }
+
 struct ReduceResult {
   Coloring colors;
   std::int64_t palette = 0;

@@ -44,15 +44,20 @@ RunStats PhaseLog::stats(std::size_t i) const {
   out.rounds = e.rounds;
   out.messages = e.messages;
   out.words = e.words;
+  out.max_msg_words = e.max_msg_words;
   if (!e.span) {
     const auto a = active(e);
     out.active_per_round.assign(a.begin(), a.end());
+    const auto b = bandwidth(e);
+    out.words_per_round.assign(b.begin(), b.end());
     return out;
   }
   for (std::size_t j = i + 1, end = subtree_end(i); j < end; ++j) {
     if (entries_[j].span) continue;
     const auto a = active(entries_[j]);
     out.active_per_round.insert(out.active_per_round.end(), a.begin(), a.end());
+    const auto b = bandwidth(entries_[j]);
+    out.words_per_round.insert(out.words_per_round.end(), b.begin(), b.end());
   }
   return out;
 }
@@ -71,11 +76,15 @@ RunStats PhaseLog::total() const {
       out.rounds += e.rounds;
       out.messages += e.messages;
       out.words += e.words;
+      out.max_msg_words = std::max(out.max_msg_words, e.max_msg_words);
     }
     if (!e.span) {
       const auto a = active(e);
       out.active_per_round.insert(out.active_per_round.end(), a.begin(),
                                   a.end());
+      const auto b = bandwidth(e);
+      out.words_per_round.insert(out.words_per_round.end(), b.begin(),
+                                 b.end());
     }
   }
   return out;
@@ -95,22 +104,27 @@ PhaseLog PhaseLog::slice(std::size_t first) const {
     e.active_off =
         a.empty() ? 0 : static_cast<std::uint32_t>(out.active_.size());
     out.active_.insert(out.active_.end(), a.begin(), a.end());
+    const auto b = bandwidth(entries_[i]);
+    e.bw_off = b.empty() ? 0 : static_cast<std::uint32_t>(out.bandwidth_.size());
+    out.bandwidth_.insert(out.bandwidth_.end(), b.begin(), b.end());
     out.entries_.push_back(e);
   }
   return out;
 }
 
 void PhaseLog::reserve(std::size_t entries, std::size_t name_bytes,
-                       std::size_t active_words) {
+                       std::size_t active_words, std::size_t bandwidth_words) {
   entries_.reserve(entries);
   names_.reserve(name_bytes);
   active_.reserve(active_words);
+  bandwidth_.reserve(bandwidth_words);
 }
 
 void PhaseLog::clear() {
   entries_.clear();
   names_.clear();
   active_.clear();
+  bandwidth_.clear();
   depth_ = 0;
 }
 
@@ -141,6 +155,7 @@ void PhaseLog::close_span(std::size_t idx) {
       e.rounds += entries_[j].rounds;
       e.messages += entries_[j].messages;
       e.words += entries_[j].words;
+      e.max_msg_words = std::max(e.max_msg_words, entries_[j].max_msg_words);
     }
     j = subtree_end(j);
   }
@@ -154,12 +169,19 @@ void PhaseLog::record(std::string_view name, const RunStats& stats) {
   e.rounds = stats.rounds;
   e.messages = stats.messages;
   e.words = stats.words;
+  e.max_msg_words = stats.max_msg_words;
   e.active_off = stats.active_per_round.empty()
                      ? 0
                      : static_cast<std::uint32_t>(active_.size());
   e.active_len = static_cast<std::uint32_t>(stats.active_per_round.size());
   active_.insert(active_.end(), stats.active_per_round.begin(),
                  stats.active_per_round.end());
+  e.bw_off = stats.words_per_round.empty()
+                 ? 0
+                 : static_cast<std::uint32_t>(bandwidth_.size());
+  e.bw_len = static_cast<std::uint32_t>(stats.words_per_round.size());
+  bandwidth_.insert(bandwidth_.end(), stats.words_per_round.begin(),
+                    stats.words_per_round.end());
   entries_.push_back(e);
 }
 
@@ -226,7 +248,8 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
     arena.words.resize(static_cast<std::size_t>(num_shards_));
   }
   halted_.assign(static_cast<std::size_t>(n), 0);
-  log_.reserve(/*entries=*/64, /*name_bytes=*/2048, /*active_words=*/4096);
+  log_.reserve(/*entries=*/64, /*name_bytes=*/2048, /*active_words=*/4096,
+               /*bandwidth_words=*/4096);
 
   // Parked worker pool: one thread per extra shard for the lifetime of the
   // session. Phase boundaries wake it via condition variable; nothing is
@@ -272,6 +295,23 @@ void Runtime::do_send(int shard, V from, int port,
                       std::span<const std::int64_t> payload) {
   MachineryScope machinery;
   DVC_REQUIRE(port >= 0 && port < g_->degree(from), "send port out of range");
+  if (static_cast<std::int64_t>(payload.size()) > msg_word_cap_) {
+    // Attribute the violation to the tighter of the two caps in force.
+    const bool from_contract =
+        phase_contract_words_ > 0 &&
+        static_cast<std::int64_t>(phase_contract_words_) == msg_word_cap_;
+    const std::string source =
+        from_contract ? "the program's declared max_words contract"
+                      : "the session's congest_words budget";
+    throw bandwidth_error(
+        "bandwidth violation: vertex " + std::to_string(from) + " sent " +
+            std::to_string(payload.size()) + " words on port " +
+            std::to_string(port) + " in round " + std::to_string(round_) +
+            ", exceeding " + source + " of " + std::to_string(msg_word_cap_) +
+            " words (CONGEST model)",
+        from, port, round_, static_cast<std::int64_t>(payload.size()),
+        msg_word_cap_, from_contract);
+  }
   Arena& out = arenas_[1 - in_idx_];
   const auto s = static_cast<std::size_t>(g_->mirror_slot(g_->slot(from, port)));
   const std::int32_t stamp = stamp_base_ + round_;
@@ -287,6 +327,9 @@ void Runtime::do_send(int shard, V from, int port,
   words.insert(words.end(), payload.begin(), payload.end());
   sh.messages += 1;
   sh.words += payload.size();
+  if (static_cast<std::uint32_t>(payload.size()) > sh.max_msg_words) {
+    sh.max_msg_words = static_cast<std::uint32_t>(payload.size());
+  }
 }
 
 void Runtime::do_halt(int shard, V v) {
@@ -344,9 +387,11 @@ void Runtime::merge_shards() {
   for (Shard& sh : shards_) {
     stats_.messages += sh.messages;
     stats_.words += sh.words;
+    stats_.max_msg_words = std::max(stats_.max_msg_words, sh.max_msg_words);
     live_ -= sh.newly_halted;
     sh.messages = 0;
     sh.words = 0;
+    sh.max_msg_words = 0;
     sh.newly_halted = 0;
   }
   // Clear every shard's error before rethrowing the first: a caught failure
@@ -406,17 +451,32 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
   stats_.rounds = 0;
   stats_.messages = 0;
   stats_.words = 0;
+  stats_.max_msg_words = 0;
   stats_.active_per_round.clear();
   stats_.active_per_round.reserve(
       static_cast<std::size_t>(std::clamp(max_rounds, 0, 1 << 12)));
+  stats_.words_per_round.clear();
+  stats_.words_per_round.reserve(
+      static_cast<std::size_t>(std::clamp(max_rounds, 0, 1 << 12)) + 1);
   for (Arena& arena : arenas_) {
     for (auto& words : arena.words) words.clear();
   }
   in_idx_ = 0;  // begin (round 0) writes arenas_[1]; round 1 reads it
   program_ = &program;
+  // Effective per-message word cap for this phase: the tighter of the
+  // session budget and the program's declared contract (0 = no cap).
+  phase_contract_words_ = program.max_words();
+  msg_word_cap_ = std::numeric_limits<std::int64_t>::max();
+  if (congest_words_ > 0) msg_word_cap_ = congest_words_;
+  if (phase_contract_words_ > 0) {
+    msg_word_cap_ =
+        std::min<std::int64_t>(msg_word_cap_, phase_contract_words_);
+  }
 
+  std::uint64_t words_before = stats_.words;
   dispatch(/*is_begin=*/true);
   merge_shards();
+  stats_.words_per_round.push_back(stats_.words - words_before);
 
   while (live_ > 0) {
     DVC_ENSURE(round_ < max_rounds,
@@ -428,8 +488,10 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
     stats_.active_per_round.push_back(live_);
     in_idx_ = 1 - in_idx_;
     for (auto& words : arenas_[1 - in_idx_].words) words.clear();
+    words_before = stats_.words;
     dispatch(/*is_begin=*/false);
     merge_shards();
+    stats_.words_per_round.push_back(stats_.words - words_before);
     if (observer_) {
       ProgramScope callback;
       observer_(round_);

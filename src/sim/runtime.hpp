@@ -42,8 +42,21 @@
 // into per-shard arenas that are merged in canonical slot order (implicitly:
 // every inbox cell has a unique writer, so the merge is free). RunStats and
 // all program outputs are bit-identical for every shard count.
+//
+// CONGEST accounting (see DESIGN.md, "CONGEST accounting"): the paper's
+// algorithms run with O(log n)-bit messages, so beyond counting rounds the
+// runtime meters bandwidth. Every send records its payload width; RunStats
+// and the PhaseLog carry the total word volume, the widest single message
+// (`max_msg_words`) and a per-round word series. Two independent caps bound
+// message width, and exceeding either raises a structured bandwidth_error
+// naming the offending vertex, port and round:
+//   * the session budget (`set_congest_words`; 0 = unlimited = LOCAL), and
+//   * the program's own declared contract (VertexProgram::max_words),
+//     enforced on every run so a program can never silently exceed the
+//     width it advertises.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <condition_variable>
@@ -58,28 +71,68 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
 #include "graph/graph.hpp"
 
 namespace dvc::sim {
+
+/// Raised when a message's payload exceeds the CONGEST word cap in force
+/// for the phase -- the session budget (Runtime::set_congest_words) or the
+/// program's own declared contract (VertexProgram::max_words), whichever is
+/// tighter. Structured so tests and callers can attribute the violation
+/// mechanically. Derives from invariant_error: exceeding the bandwidth of
+/// the simulated model is a structural violation, like exceeding a round
+/// cap.
+class bandwidth_error : public invariant_error {
+ public:
+  bandwidth_error(const std::string& what, V vertex, int port, int round,
+                  std::int64_t words, std::int64_t cap, bool from_contract)
+      : invariant_error(what),
+        vertex(vertex),
+        port(port),
+        round(round),
+        words(words),
+        cap(cap),
+        from_contract(from_contract) {}
+
+  V vertex;            ///< sending vertex (0-based)
+  int port;            ///< sending port
+  int round;           ///< round the send was issued in (0 = begin)
+  std::int64_t words;  ///< offending payload width
+  std::int64_t cap;    ///< the violated per-message word cap
+  bool from_contract;  ///< true: program max_words(); false: session budget
+};
 
 struct RunStats {
   int rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t words = 0;
+  /// Widest single message payload (words) observed during the phase; the
+  /// phase ran within the CONGEST model iff this is <= the word budget.
+  std::uint32_t max_msg_words = 0;
   /// Number of non-halted vertices at the start of each round. Sequential
   /// phase composition (operator+=) concatenates, so a composed driver's
   /// profile covers its whole pipeline. Used to validate the paper's
   /// Section 1.4 parallelism claim ("all vertices are active at (almost)
   /// all times").
   std::vector<std::int32_t> active_per_round;
+  /// Payload words sent per execution step: index 0 is begin(), index r is
+  /// round r. Sums to `words`. Sequential composition concatenates, like
+  /// active_per_round (note the two series are offset by one: a phase with
+  /// R rounds contributes R active counts but R+1 bandwidth samples).
+  std::vector<std::uint64_t> words_per_round;
 
   RunStats& operator+=(const RunStats& other) {
     rounds += other.rounds;
     messages += other.messages;
     words += other.words;
+    max_msg_words = std::max(max_msg_words, other.max_msg_words);
     active_per_round.insert(active_per_round.end(),
                             other.active_per_round.begin(),
                             other.active_per_round.end());
+    words_per_round.insert(words_per_round.end(),
+                           other.words_per_round.begin(),
+                           other.words_per_round.end());
     return *this;
   }
 
@@ -133,8 +186,12 @@ class PhaseLog {
     std::int32_t rounds = 0;
     std::uint64_t messages = 0;
     std::uint64_t words = 0;
+    /// Widest message of the phase (spans: max over the subtree).
+    std::uint32_t max_msg_words = 0;
     std::uint32_t active_off = 0;  // into the active arena (leaves only)
     std::uint32_t active_len = 0;
+    std::uint32_t bw_off = 0;  // into the bandwidth arena (leaves only)
+    std::uint32_t bw_len = 0;
 
     friend bool operator==(const Entry&, const Entry&) = default;
   };
@@ -153,6 +210,13 @@ class PhaseLog {
   std::span<const std::int32_t> active(const Entry& e) const {
     return std::span<const std::int32_t>(active_.data() + e.active_off,
                                          e.active_len);
+  }
+
+  /// Per-step payload-word series of a leaf entry (index 0 = begin; empty
+  /// for spans -- a span's series is the concatenation of its leaves).
+  std::span<const std::uint64_t> bandwidth(const Entry& e) const {
+    return std::span<const std::uint64_t>(bandwidth_.data() + e.bw_off,
+                                          e.bw_len);
   }
 
   /// Materializes entry i as a RunStats. For spans, counters are the
@@ -174,7 +238,7 @@ class PhaseLog {
   /// Pre-sizes the arenas so that recording stays allocation-free until the
   /// reserve is exceeded.
   void reserve(std::size_t entries, std::size_t name_bytes,
-               std::size_t active_words);
+               std::size_t active_words, std::size_t bandwidth_words);
 
   /// Forgets all entries but keeps arena capacity (warm reuse).
   void clear();
@@ -196,6 +260,7 @@ class PhaseLog {
   std::vector<Entry> entries_;
   std::vector<char> names_;
   std::vector<std::int32_t> active_;
+  std::vector<std::uint64_t> bandwidth_;
   std::int32_t depth_ = 0;
 };
 
@@ -270,6 +335,15 @@ class VertexProgram {
   virtual std::string name() const = 0;
   virtual void begin(Ctx& ctx) { (void)ctx; }
   virtual void step(Ctx& ctx, const Inbox& inbox) = 0;
+
+  /// CONGEST contract: the worst-case payload width, in words, of any
+  /// message this program ever sends (each word carries one O(log n)-bit
+  /// quantity -- an id, color, level or key -- so a constant here means the
+  /// program is a CONGEST algorithm). 0 = undeclared: no program-side cap,
+  /// i.e. the LOCAL model. When positive the runtime enforces it on every
+  /// send; a wider payload raises bandwidth_error, making the declared
+  /// contract mechanically checked on every run.
+  virtual int max_words() const { return 0; }
 };
 
 /// Persistent simulation session bound to one graph. Construction allocates
@@ -300,6 +374,14 @@ class Runtime {
 
   const Graph& graph() const { return *g_; }
   int shards() const { return num_shards_; }
+
+  /// Session-level CONGEST budget: maximum payload width (words) of any
+  /// single message, enforced on subsequent run_phase calls. 0 = unlimited
+  /// (the LOCAL model; the default). A send wider than the budget -- or
+  /// wider than the running program's own max_words() contract, whichever
+  /// is tighter -- raises bandwidth_error identifying vertex/port/round.
+  void set_congest_words(int words) { congest_words_ = words < 0 ? 0 : words; }
+  int congest_words() const { return congest_words_; }
 
   PhaseLog& log() { return log_; }
   const PhaseLog& log() const { return log_; }
@@ -361,6 +443,7 @@ class Runtime {
     std::array<std::vector<std::int64_t>, Ctx::kNumScratch> scratch;
     std::uint64_t messages = 0;
     std::uint64_t words = 0;
+    std::uint32_t max_msg_words = 0;
     V newly_halted = 0;
     std::exception_ptr error;
   };
@@ -393,6 +476,12 @@ class Runtime {
   RunStats stats_;
   PhaseLog log_;
   std::function<void(int)> observer_;
+  /// Session CONGEST budget (0 = LOCAL) and the per-phase effective
+  /// per-message cap derived from it and the program contract: the
+  /// tighter of the two positives, or int64 max when both are 0.
+  int congest_words_ = 0;
+  int phase_contract_words_ = 0;
+  std::int64_t msg_word_cap_ = 0;
 
   // Parked worker pool: spawned once in the constructor, woken per
   // begin/step sweep, joined in the destructor.
@@ -440,6 +529,28 @@ class ScopedDefaultShards {
   ScopedDefaultShards& operator=(const ScopedDefaultShards&) = delete;
 
  private:
+  int previous_;
+  bool active_;
+};
+
+/// Scoped override of a session's CONGEST word budget; `words` <= 0 leaves
+/// the current budget untouched (no-op guard). Restores on destruction, so
+/// drivers can impose a model for their pipeline without mutating a
+/// caller-provided session permanently.
+class ScopedCongestWords {
+ public:
+  ScopedCongestWords(Runtime& rt, int words)
+      : rt_(&rt), previous_(rt.congest_words()), active_(words > 0) {
+    if (active_) rt_->set_congest_words(words);
+  }
+  ~ScopedCongestWords() {
+    if (active_) rt_->set_congest_words(previous_);
+  }
+  ScopedCongestWords(const ScopedCongestWords&) = delete;
+  ScopedCongestWords& operator=(const ScopedCongestWords&) = delete;
+
+ private:
+  Runtime* rt_;
   int previous_;
   bool active_;
 };

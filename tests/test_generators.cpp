@@ -1,11 +1,56 @@
 #include <gtest/gtest.h>
 
+#include <queue>
+#include <vector>
+
 #include "common/prng.hpp"
 #include "graph/arboricity.hpp"
 #include "graph/generators.hpp"
 
 namespace dvc {
 namespace {
+
+/// Number of connected components (BFS).
+int component_count(const Graph& g) {
+  const V n = g.num_vertices();
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(n), 0);
+  int components = 0;
+  for (V s = 0; s < n; ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    ++components;
+    std::queue<V> q;
+    q.push(s);
+    seen[static_cast<std::size_t>(s)] = 1;
+    while (!q.empty()) {
+      const V v = q.front();
+      q.pop();
+      for (const V u : g.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(u)]) {
+          seen[static_cast<std::size_t>(u)] = 1;
+          q.push(u);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+/// Structural invariants every generator must satisfy: no self loops, no
+/// duplicate edges (adjacency is strictly ordered per vertex), degree sum
+/// equals 2m.
+void check_simple_graph(const Graph& g) {
+  std::int64_t degree_sum = 0;
+  for (V v = 0; v < g.num_vertices(); ++v) {
+    degree_sum += g.degree(v);
+    V prev = -1;
+    for (const V u : g.neighbors(v)) {
+      EXPECT_NE(u, v) << "self loop at " << v;
+      EXPECT_GT(u, prev) << "unsorted or duplicate neighbor of " << v;
+      prev = u;
+    }
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
 
 TEST(Generators, PathCycleStar) {
   Graph p = path_graph(10);
@@ -139,6 +184,125 @@ TEST(Generators, GnpEdgeCountIsPlausible) {
   // Mean ~495, sd ~21; allow 6 sigma.
   EXPECT_GT(g.num_edges(), 495 - 130);
   EXPECT_LT(g.num_edges(), 495 + 130);
+}
+
+// --- Structural invariants per family, across seeds ------------------------
+
+TEST(Generators, EveryFamilyProducesSimpleSortedGraphs) {
+  for (const std::uint64_t seed : {1ull, 9ull, 42ull}) {
+    check_simple_graph(random_gnp(80, 0.08, seed));
+    check_simple_graph(random_gnm(80, 120, seed));
+    check_simple_graph(random_near_regular(120, 5, seed));
+    check_simple_graph(planted_arboricity(120, 4, seed));
+    check_simple_graph(barabasi_albert(120, 4, seed));
+    check_simple_graph(random_geometric(120, 0.14, seed));
+    check_simple_graph(random_tree(120, seed));
+    check_simple_graph(random_forest(120, 4, seed));
+    check_simple_graph(low_arboricity_high_degree(300, 3, 64, seed));
+  }
+  check_simple_graph(grid_graph(7, 9));
+  check_simple_graph(torus_graph(5, 6));
+  check_simple_graph(hypercube_graph(5));
+  check_simple_graph(complete_bipartite(6, 9));
+}
+
+TEST(Generators, DeterministicInSeedAcrossFamilies) {
+  EXPECT_EQ(random_gnp(64, 0.1, 5).edges(), random_gnp(64, 0.1, 5).edges());
+  EXPECT_EQ(random_near_regular(64, 4, 5).edges(),
+            random_near_regular(64, 4, 5).edges());
+  EXPECT_EQ(planted_arboricity(64, 3, 5).edges(),
+            planted_arboricity(64, 3, 5).edges());
+  EXPECT_EQ(barabasi_albert(64, 3, 5).edges(),
+            barabasi_albert(64, 3, 5).edges());
+  EXPECT_EQ(random_geometric(64, 0.2, 5).edges(),
+            random_geometric(64, 0.2, 5).edges());
+  EXPECT_NE(planted_arboricity(64, 3, 5).edges(),
+            planted_arboricity(64, 3, 6).edges());
+}
+
+TEST(Generators, TreesAndForestsAreConnectedCorrectly) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Graph t = random_tree(200, seed);
+    EXPECT_EQ(t.num_edges(), 199);
+    EXPECT_EQ(component_count(t), 1);  // n-1 edges + connected = tree
+    const Graph f = random_forest(200, 7, seed);
+    EXPECT_EQ(f.num_edges(), 193);
+    EXPECT_EQ(component_count(f), 7);
+  }
+}
+
+TEST(Generators, PlantedArboricityStructure) {
+  for (const std::uint64_t seed : {3ull, 8ull}) {
+    for (const int a : {1, 2, 4, 6}) {
+      const Graph g = planted_arboricity(150, a, seed);
+      SCOPED_TRACE("a=" + std::to_string(a) + " seed=" + std::to_string(seed));
+      // Union of `a` spanning trees: connected, at most a(n-1) edges (dedupe
+      // can only remove), and the certified arboricity interval contains a
+      // value <= a.
+      EXPECT_EQ(component_count(g), 1);
+      EXPECT_LE(g.num_edges(), static_cast<std::int64_t>(a) * 149);
+      EXPECT_GE(g.num_edges(), 149);  // at least one spanning tree survives
+      const auto [lo, hi] = arboricity_bounds(g);
+      EXPECT_LE(lo, a);
+      EXPECT_GE(hi, lo);
+      // Nash-Williams lower bound certifies near-tightness for a >= 2.
+      if (a >= 2) EXPECT_GE(lo, a - 1);
+    }
+  }
+}
+
+TEST(Generators, BarabasiAlbertExactEdgeCountAndDegeneracy) {
+  for (const std::uint64_t seed : {2ull, 6ull}) {
+    for (const int k : {1, 3, 5}) {
+      const Graph g = barabasi_albert(200, k, seed);
+      SCOPED_TRACE("k=" + std::to_string(k));
+      // Seed star: k edges; each of the n-k-1 later vertices attaches to
+      // exactly k distinct targets, none duplicated.
+      EXPECT_EQ(g.num_edges(), static_cast<std::int64_t>(k) * (200 - k));
+      EXPECT_LE(degeneracy(g), k);
+      EXPECT_EQ(component_count(g), 1);
+    }
+  }
+}
+
+TEST(Generators, NearRegularDegreeCapAcrossSeeds) {
+  for (const std::uint64_t seed : {1ull, 4ull, 9ull}) {
+    for (const int d : {2, 6, 11}) {
+      const Graph g = random_near_regular(150, d, seed);
+      EXPECT_LE(g.max_degree(), d);
+      // Pairing model: at most floor(n*d/2) edges.
+      EXPECT_LE(g.num_edges(), static_cast<std::int64_t>(150) * d / 2);
+    }
+  }
+}
+
+TEST(Generators, GeometricRadiusIsRespected) {
+  for (const std::uint64_t seed : {5ull, 21ull}) {
+    const V n = 200;
+    const double r = 0.11;
+    const Graph g = random_geometric(n, r, seed);
+    // Re-derive the points (generator draws x/y first, same Rng protocol).
+    Rng rng(seed);
+    std::vector<double> x(static_cast<std::size_t>(n)),
+        y(static_cast<std::size_t>(n));
+    for (V v = 0; v < n; ++v) {
+      x[static_cast<std::size_t>(v)] = rng.uniform_real();
+      y[static_cast<std::size_t>(v)] = rng.uniform_real();
+    }
+    for (const auto& [u, v] : g.edges()) {
+      const double dx = x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+      const double dy = y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)];
+      EXPECT_LE(dx * dx + dy * dy, r * r);
+    }
+  }
+}
+
+TEST(Generators, LowArbHighDegreeHubsReachTarget) {
+  const Graph g = low_arboricity_high_degree(1000, 3, 96, 3);
+  EXPECT_GE(g.max_degree(), 96);
+  // Hub 0's star is fully present.
+  EXPECT_GE(g.degree(0), 96);
+  EXPECT_LE(degeneracy(g), 2 * 3);  // union of <= 3 forests
 }
 
 }  // namespace

@@ -91,6 +91,9 @@ TEST(Runtime, PhasesAfterTheFirstAllocateNothing) {
   for (const int shards : {1, 2, 8}) {
     SCOPED_TRACE("shards=" + std::to_string(shards));
     sim::Runtime rt(g, shards);
+    // Metering enforcement on: the CONGEST budget check must not cost
+    // allocations either (FloodAll sends 3-word payloads).
+    rt.set_congest_words(3);
     {
       FloodAll warm(kRounds);
       rt.run_phase(warm, kRounds + sim::kRoundCapSlack, "flood");
@@ -163,7 +166,131 @@ TEST(Runtime, CaughtProgramErrorDoesNotPoisonTheNextPhase) {
   EXPECT_NO_THROW(rt.run_phase(good, 4, "good"));
 }
 
-// --- 4. PhaseLog tree consistency ------------------------------------------
+// --- 4. CONGEST bandwidth accounting ---------------------------------------
+
+namespace bw {
+
+/// Sends `width` words on every port each round; declares `declared` as its
+/// max_words contract (0 = undeclared).
+class WideSender : public sim::VertexProgram {
+ public:
+  WideSender(int width, int declared, int rounds)
+      : width_(width), declared_(declared), rounds_(rounds) {}
+  std::string name() const override { return "wide-sender"; }
+  int max_words() const override { return declared_; }
+  void begin(sim::Ctx& ctx) override { blast(ctx); }
+  void step(sim::Ctx& ctx, const sim::Inbox&) override {
+    if (ctx.round() >= rounds_) ctx.halt();
+    else blast(ctx);
+  }
+
+ private:
+  void blast(sim::Ctx& ctx) {
+    auto& payload = ctx.scratch();
+    payload.assign(static_cast<std::size_t>(width_), 7);
+    ctx.broadcast(std::span<const std::int64_t>(payload.data(),
+                                                payload.size()));
+  }
+  int width_;
+  int declared_;
+  int rounds_;
+};
+
+}  // namespace bw
+
+TEST(Runtime, MetersWordsPerRoundAndWidestMessage) {
+  const Graph g = random_near_regular(512, 6, 9);
+  sim::Runtime rt(g);
+  bw::WideSender prog(/*width=*/3, /*declared=*/3, /*rounds=*/4);
+  const sim::RunStats& stats = rt.run_phase(prog, 4 + sim::kRoundCapSlack);
+  EXPECT_EQ(stats.max_msg_words, 3u);
+  EXPECT_EQ(stats.words, stats.messages * 3);
+  // Begin plus every round contributes one bandwidth sample; the series
+  // sums to the total and the final round (halt, no sends) records 0.
+  ASSERT_EQ(stats.words_per_round.size(),
+            static_cast<std::size_t>(stats.rounds) + 1);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t w : stats.words_per_round) sum += w;
+  EXPECT_EQ(sum, stats.words);
+  EXPECT_EQ(stats.words_per_round.back(), 0u);
+  EXPECT_EQ(stats.words_per_round.front(),
+            static_cast<std::uint64_t>(g.num_edges()) * 2 * 3);
+}
+
+TEST(Runtime, SessionBudgetViolationRaisesStructuredBandwidthError) {
+  const Graph g = random_near_regular(256, 4, 11);
+  for (const int shards : {1, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    sim::Runtime rt(g, shards);
+    rt.set_congest_words(2);
+    bw::WideSender wide(/*width=*/3, /*declared=*/0, /*rounds=*/2);
+    try {
+      rt.run_phase(wide, 8);
+      FAIL() << "expected bandwidth_error";
+    } catch (const sim::bandwidth_error& e) {
+      EXPECT_EQ(e.words, 3);
+      EXPECT_EQ(e.cap, 2);
+      EXPECT_EQ(e.round, 0);  // first violation is in begin()
+      EXPECT_FALSE(e.from_contract);
+      EXPECT_GE(e.vertex, 0);
+      EXPECT_LT(e.vertex, g.num_vertices());
+      EXPECT_GE(e.port, 0);
+      EXPECT_LT(e.port, g.degree(e.vertex));
+      EXPECT_NE(std::string(e.what()).find("congest_words"), std::string::npos);
+    }
+    // The session survives: a compliant phase runs clean afterwards.
+    bw::WideSender ok(/*width=*/2, /*declared=*/2, /*rounds=*/2);
+    EXPECT_NO_THROW(rt.run_phase(ok, 8));
+    // A bandwidth_error is also an invariant_error (catchable generically).
+    rt.set_congest_words(1);
+    bw::WideSender wide2(/*width=*/2, /*declared=*/0, /*rounds=*/1);
+    EXPECT_THROW(rt.run_phase(wide2, 8), invariant_error);
+  }
+}
+
+TEST(Runtime, DeclaredContractIsEnforcedEvenWithoutASessionBudget) {
+  // A program that under-declares its width must fail on EVERY run -- the
+  // contract is self-enforcing, not just checked under a budget.
+  const Graph g = random_near_regular(256, 4, 13);
+  sim::Runtime rt(g);
+  ASSERT_EQ(rt.congest_words(), 0);  // LOCAL session
+  bw::WideSender lying(/*width=*/3, /*declared=*/2, /*rounds=*/2);
+  try {
+    rt.run_phase(lying, 8);
+    FAIL() << "expected bandwidth_error";
+  } catch (const sim::bandwidth_error& e) {
+    EXPECT_TRUE(e.from_contract);
+    EXPECT_EQ(e.cap, 2);
+    EXPECT_EQ(e.words, 3);
+    EXPECT_NE(std::string(e.what()).find("max_words"), std::string::npos);
+  }
+  // The tighter of contract and budget wins in both directions.
+  rt.set_congest_words(1);
+  bw::WideSender wide(/*width=*/2, /*declared=*/3, /*rounds=*/1);
+  try {
+    rt.run_phase(wide, 8);
+    FAIL() << "expected bandwidth_error";
+  } catch (const sim::bandwidth_error& e) {
+    EXPECT_FALSE(e.from_contract);
+    EXPECT_EQ(e.cap, 1);
+  }
+}
+
+TEST(Runtime, PaperPipelineRunsUnderItsDeclaredCongestBudget) {
+  // Every paper-path program passes under the finite session budget
+  // matching the widest declared contract; the observed widths match the
+  // declarations exactly at the pipeline level.
+  const Graph g = planted_arboricity(1 << 10, 8, 5);
+  sim::Runtime rt(g);
+  rt.set_congest_words(kCongestWordsPaperPath);
+  const LegalColoringResult res = color_graph(rt, 8, Preset::PolylogTime);
+  EXPECT_TRUE(is_legal_coloring(g, res.colors));
+  EXPECT_LE(res.total.max_msg_words,
+            static_cast<std::uint32_t>(kCongestWordsPaperPath));
+  EXPECT_GT(res.total.max_msg_words, 0u);
+}
+
+// --- 5. PhaseLog tree consistency ------------------------------------------
 
 TEST(PhaseLog, SpansAggregateTheirDirectChildren) {
   const Graph g = planted_arboricity(1 << 10, 8, 9);
@@ -175,13 +302,16 @@ TEST(PhaseLog, SpansAggregateTheirDirectChildren) {
     if (!log[i].span) continue;
     std::int64_t rounds = 0;
     std::uint64_t messages = 0;
+    std::uint32_t max_msg_words = 0;
     for (std::size_t j = i + 1; j < log.subtree_end(i);
          j = log.subtree_end(j)) {
       rounds += log[j].rounds;
       messages += log[j].messages;
+      max_msg_words = std::max(max_msg_words, log[j].max_msg_words);
     }
     EXPECT_EQ(rounds, log[i].rounds) << "span " << log.name(i);
     EXPECT_EQ(messages, log[i].messages) << "span " << log.name(i);
+    EXPECT_EQ(max_msg_words, log[i].max_msg_words) << "span " << log.name(i);
   }
   // The result's slice equals the session log here (one call on a fresh
   // session), slicing from 0 is the identity, and top-level entries compose

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "sim/runtime.hpp"
+#include "test_helpers.hpp"
 
 namespace dvc_test {
 
@@ -37,28 +38,6 @@ inline void count_alloc() {
     g_machinery_allocs.fetch_add(1, std::memory_order_relaxed);
   }
 }
-
-inline bool same_stats(const dvc::sim::RunStats& a, const dvc::sim::RunStats& b) {
-  return a.rounds == b.rounds && a.messages == b.messages &&
-         a.words == b.words && a.active_per_round == b.active_per_round;
-}
-
-/// Densest LOCAL-model schedule: every vertex broadcasts a 3-word payload
-/// for `rounds` rounds (2m messages per round), with no program-side
-/// allocation -- the canonical workload for warm-loop regression tests.
-class FloodAll : public dvc::sim::VertexProgram {
- public:
-  explicit FloodAll(int rounds) : rounds_(rounds) {}
-  std::string name() const override { return "flood"; }
-  void begin(dvc::sim::Ctx& ctx) override { ctx.broadcast({1, 2, 3}); }
-  void step(dvc::sim::Ctx& ctx, const dvc::sim::Inbox&) override {
-    if (ctx.round() >= rounds_) ctx.halt();
-    else ctx.broadcast({1, 2, 3});
-  }
-
- private:
-  int rounds_;
-};
 
 }  // namespace dvc_test
 
