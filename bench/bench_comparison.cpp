@@ -58,6 +58,10 @@ int main() {
       for (const std::uint64_t w : stats.words_per_round) {
         peak_round_words = std::max(peak_round_words, w);
       }
+      std::int32_t peak_live = 0;
+      for (const std::int32_t a : stats.active_per_round) {
+        peak_live = std::max(peak_live, a);
+      }
       sink.add(benchio::JsonRecord()
                    .field("bench", "comparison")
                    .field("algorithm", algorithm)
@@ -69,6 +73,8 @@ int main() {
                    .field("rounds", stats.rounds)
                    .field("messages", stats.messages)
                    .field("total_words", stats.words)
+                   .field("work_items", stats.work_items)
+                   .field("peak_live", peak_live)
                    .field("max_msg_words",
                           static_cast<std::int64_t>(stats.max_msg_words))
                    .field("peak_round_words", peak_round_words)
@@ -100,6 +106,8 @@ int main() {
                      .field("rounds", entry.rounds)
                      .field("messages", entry.messages)
                      .field("words", entry.words)
+                     .field("work_items", entry.work_items)
+                     .field("peak_live", res.phases.peak_active(i))
                      .field("max_msg_words",
                             static_cast<std::int64_t>(entry.max_msg_words)));
       }

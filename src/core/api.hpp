@@ -55,6 +55,13 @@ struct Knobs {
   /// program. Metering itself is always on (RunStats/PhaseLog bandwidth
   /// counters); the budget only adds enforcement.
   int congest_words = 0;
+  /// Executor choice for the pipeline's simulated phases. kSession (the
+  /// default) keeps the session's scheduler -- sparse on a fresh session.
+  /// kSparse forces the live-list O(live + messages) executor, kDense the
+  /// legacy full-sweep baseline; results are bit-identical either way
+  /// (colors, RunStats, PhaseLog), only wall-clock differs. Used for A/B
+  /// verification and the scheduler benchmarks.
+  sim::Scheduler scheduler = sim::Scheduler::kSession;
 };
 
 std::string preset_name(Preset p);

@@ -67,6 +67,16 @@ Graph Graph::from_edges(V n, const EdgeList& edges) {
 
 int Graph::port_of(V v, V u) const {
   const auto nb = neighbors(v);
+  // Adjacency lists are sorted, so binary search bounds the lookup at
+  // O(log deg). For the short lists that dominate bounded-arboricity
+  // graphs a branch-predictable linear scan beats the search, so it
+  // handles the small-degree case (the sortedness lets it stop early).
+  if (nb.size() <= 16) {
+    for (std::size_t i = 0; i < nb.size() && nb[i] <= u; ++i) {
+      if (nb[i] == u) return static_cast<int>(i);
+    }
+    return -1;
+  }
   const auto it = std::lower_bound(nb.begin(), nb.end(), u);
   if (it == nb.end() || *it != u) return -1;
   return static_cast<int>(it - nb.begin());

@@ -11,6 +11,29 @@ namespace {
 
 std::atomic<std::uint64_t> g_threads_spawned{0};
 
+/// Senders record the touched-slot index only when the previous round's
+/// messages were at least this factor sparser than the live port space:
+/// recording is two appends per message, so the gate exists purely to keep
+/// all-live dense rounds (where delivery port-scans regardless) from
+/// paying anything at all.
+constexpr std::uint64_t kTouchRecordFactor = 2;
+
+/// Grouped-delivery mode pays O(1) per message but with scattered
+/// per-message accesses (receiver metadata, group fill); the port-scan
+/// fallback pays O(1) per live port with mostly-sequential reads. Measured
+/// on commodity cores the scattered unit costs ~an order of magnitude
+/// more, so delivery groups only when messages are at least this factor
+/// sparser than the shard's live port space -- mid-density rounds stay on
+/// the scan path, truly sparse trickles skip the port scans entirely.
+constexpr std::uint64_t kGroupedDeliveryFactor = 12;
+
+/// A grouped-delivery entry packs the sending shard above the slot id, so
+/// inbox assembly can find the sender's word buffer without a scattered
+/// adjacency lookup per message.
+constexpr int kTouchSenderShift = 48;
+constexpr std::int64_t kTouchSlotMask =
+    (std::int64_t{1} << kTouchSenderShift) - 1;
+
 // Depth counter (not a bool) so machinery scopes nest: the round loop is
 // machinery, program callbacks are not, but Ctx::send called from a callback
 // re-enters machinery.
@@ -44,6 +67,7 @@ RunStats PhaseLog::stats(std::size_t i) const {
   out.rounds = e.rounds;
   out.messages = e.messages;
   out.words = e.words;
+  out.work_items = e.work_items;
   out.max_msg_words = e.max_msg_words;
   if (!e.span) {
     const auto a = active(e);
@@ -68,6 +92,16 @@ std::size_t PhaseLog::subtree_end(std::size_t i) const {
   return j;
 }
 
+std::int32_t PhaseLog::peak_active(std::size_t i) const {
+  std::int32_t peak = 0;
+  const std::size_t end = entries_[i].span ? subtree_end(i) : i + 1;
+  for (std::size_t j = i; j < end; ++j) {
+    if (entries_[j].span) continue;
+    for (const std::int32_t a : active(entries_[j])) peak = std::max(peak, a);
+  }
+  return peak;
+}
+
 RunStats PhaseLog::total() const {
   RunStats out;
   for (std::size_t i = 0; i < entries_.size(); ++i) {
@@ -76,6 +110,7 @@ RunStats PhaseLog::total() const {
       out.rounds += e.rounds;
       out.messages += e.messages;
       out.words += e.words;
+      out.work_items += e.work_items;
       out.max_msg_words = std::max(out.max_msg_words, e.max_msg_words);
     }
     if (!e.span) {
@@ -155,6 +190,7 @@ void PhaseLog::close_span(std::size_t idx) {
       e.rounds += entries_[j].rounds;
       e.messages += entries_[j].messages;
       e.words += entries_[j].words;
+      e.work_items += entries_[j].work_items;
       e.max_msg_words = std::max(e.max_msg_words, entries_[j].max_msg_words);
     }
     j = subtree_end(j);
@@ -169,6 +205,7 @@ void PhaseLog::record(std::string_view name, const RunStats& stats) {
   e.rounds = stats.rounds;
   e.messages = stats.messages;
   e.words = stats.words;
+  e.work_items = stats.work_items;
   e.max_msg_words = stats.max_msg_words;
   e.active_off = stats.active_per_round.empty()
                      ? 0
@@ -246,8 +283,44 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
     arena.off.assign(slots, 0);
     arena.len.assign(slots, 0);
     arena.words.resize(static_cast<std::size_t>(num_shards_));
+    arena.touched.resize(static_cast<std::size_t>(num_shards_));
+    arena.touched_recv.resize(static_cast<std::size_t>(num_shards_));
+    arena.touch_overflow.assign(static_cast<std::size_t>(num_shards_), 0);
   }
+  // Grouped delivery only wins while messages are sparse relative to the
+  // slot space, so cap the per-sender index there; the cap also bounds the
+  // index's memory to a fraction of one arena. Reserving to the cap makes
+  // index recording allocation-free from round one -- a sparse workload
+  // whose recorded volume grows round over round must not heap-allocate
+  // mid-phase (the warm-round zero-allocation invariant).
+  touch_cap_ = std::max<std::size_t>(
+      1024, slots / (8 * static_cast<std::size_t>(num_shards_)));
+  for (Arena& arena : arenas_) {
+    for (auto& t : arena.touched) t.reserve(touch_cap_);
+    for (auto& t : arena.touched_recv) t.reserve(touch_cap_);
+  }
+  // Grouped-delivery entries pack the sender shard above the slot id.
+  DVC_REQUIRE(g.num_slots() < (std::int64_t{1} << kTouchSenderShift),
+              "graph slot space exceeds the grouped-delivery packing");
   halted_.assign(static_cast<std::size_t>(n), 0);
+  recv_meta_.assign(static_cast<std::size_t>(n), RecvMeta{});
+  for (Shard& sh : shards_) {
+    // Live list holds at most the shard's vertex range; the grouped-slot
+    // workspace at most one message per slot owned by the shard. Inboxes
+    // hold at most the shard's max degree. Reserving the exact bounds here
+    // makes every round -- including the first of a cold phase -- provably
+    // allocation-free in the delivery path.
+    sh.slot_lo = sh.first < n ? g.slot(sh.first, 0) : g.num_slots();
+    sh.slot_hi = sh.last < n ? g.slot(sh.last, 0) : g.num_slots();
+    sh.live.reserve(static_cast<std::size_t>(sh.last - sh.first));
+    sh.receivers.reserve(static_cast<std::size_t>(sh.last - sh.first));
+    sh.grouped.reserve(static_cast<std::size_t>(sh.slot_hi - sh.slot_lo));
+    int max_deg = 0;
+    for (V v = sh.first; v < sh.last; ++v) {
+      max_deg = std::max(max_deg, g.degree(v));
+    }
+    sh.inbox.msgs_.reserve(static_cast<std::size_t>(max_deg));
+  }
   log_.reserve(/*entries=*/64, /*name_bytes=*/2048, /*active_words=*/4096,
                /*bandwidth_words=*/4096);
 
@@ -325,6 +398,22 @@ void Runtime::do_send(int shard, V from, int port,
   out.off[s] = static_cast<std::uint32_t>(words.size());
   out.len[s] = static_cast<std::uint32_t>(payload.size());
   words.insert(words.end(), payload.begin(), payload.end());
+  if (record_touched_) {
+    // Sender-driven delivery index: slot + receiver (read from the
+    // sender's own cached adjacency row, so the gather never pays a
+    // scattered owner lookup), one flat append per message, capped so a
+    // round that turns out dense stops paying for an index its delivery
+    // (port scan) will not read. record_touched_ is false outright on
+    // rounds predicted dense (and under the dense scheduler).
+    auto& touched = out.touched[static_cast<std::size_t>(shard)];
+    if (touched.size() < touch_cap_) {
+      touched.push_back(static_cast<std::int64_t>(s));
+      out.touched_recv[static_cast<std::size_t>(shard)].push_back(
+          g_->neighbor(from, port));
+    } else {
+      out.touch_overflow[static_cast<std::size_t>(shard)] = 1;
+    }
+  }
   sh.messages += 1;
   sh.words += payload.size();
   if (static_cast<std::uint32_t>(payload.size()) > sh.max_msg_words) {
@@ -346,40 +435,211 @@ void Runtime::run_shard_phase(int shard, VertexProgram& program, bool is_begin) 
     if (is_begin) {
       for (V v = sh.first; v < sh.last; ++v) {
         Ctx ctx(*this, shard, v);
+        ++sh.work_items;
         ProgramScope callback;
         program.begin(ctx);
       }
+      if (phase_sparse_) {
+        // Seed the live list from the one post-begin halted sweep; from
+        // here on it is only compacted, never re-derived.
+        sh.live.clear();
+        sh.live_ports = 0;
+        for (V v = sh.first; v < sh.last; ++v) {
+          if (halted_[static_cast<std::size_t>(v)]) continue;
+          sh.live.push_back(v);
+          sh.live_ports += static_cast<std::uint64_t>(g_->degree(v));
+        }
+      }
       return;
     }
-    const Arena& in = arenas_[in_idx_];
-    const std::int32_t want = stamp_base_ + round_ - 1;
-    // Single-shard fast path: every payload lives in the one word buffer.
-    const std::vector<std::int64_t>* sole_words =
-        num_shards_ == 1 ? in.words.data() : nullptr;
-    Inbox& inbox = sh.inbox;
-    for (V v = sh.first; v < sh.last; ++v) {
-      if (halted_[static_cast<std::size_t>(v)]) continue;
-      inbox.msgs_.clear();
+    if (phase_sparse_) sparse_step(shard, program);
+    else dense_step(shard, program);
+  } catch (...) {
+    sh.error = std::current_exception();
+  }
+}
+
+void Runtime::dense_step(int shard, VertexProgram& program) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  const Arena& in = arenas_[in_idx_];
+  const std::int32_t want = stamp_base_ + round_ - 1;
+  // Single-shard fast path: every payload lives in the one word buffer.
+  const std::vector<std::int64_t>* sole_words =
+      num_shards_ == 1 ? in.words.data() : nullptr;
+  Inbox& inbox = sh.inbox;
+  for (V v = sh.first; v < sh.last; ++v) {
+    if (halted_[static_cast<std::size_t>(v)]) continue;
+    inbox.msgs_.clear();
+    const int deg = g_->degree(v);
+    const std::int64_t base = g_->slot(v, 0);
+    for (int p = 0; p < deg; ++p) {
+      const auto s = static_cast<std::size_t>(base + p);
+      if (in.epoch[s] != want) continue;
+      const auto& words =
+          sole_words
+              ? *sole_words
+              : in.words[static_cast<std::size_t>(shard_of(g_->neighbor(v, p)))];
+      inbox.msgs_.push_back(
+          MsgView{p, std::span<const std::int64_t>(
+                         words.data() + in.off[s], in.len[s])});
+    }
+    sh.work_items += 1 + inbox.msgs_.size();
+    Ctx ctx(*this, shard, v);
+    ProgramScope callback;
+    program.step(ctx, inbox);
+  }
+}
+
+void Runtime::assemble_grouped_inbox(int shard, V v, const Arena& in,
+                                     Inbox& inbox) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  const auto vi = static_cast<std::size_t>(v);
+  std::int64_t* entries = sh.grouped.data() + recv_meta_[vi].off;
+  const std::uint32_t k = recv_meta_[vi].count;
+  // Each entry packs (sender_shard << kTouchSenderShift) | slot. Canonical
+  // inbox order is ascending port == ascending slot id, so sort by the
+  // masked slot. Groups arrive in fill order (sender shard, then send
+  // order), which is close to sorted for the common ascending-sweep
+  // senders, so insertion sort wins for the small k = O(degree) group
+  // sizes; fall back to std::sort for wide inboxes.
+  const auto slot_of = [](std::int64_t e) { return e & kTouchSlotMask; };
+  if (k <= 32) {
+    for (std::uint32_t i = 1; i < k; ++i) {
+      const std::int64_t e = entries[i];
+      std::uint32_t j = i;
+      for (; j > 0 && slot_of(entries[j - 1]) > slot_of(e); --j) {
+        entries[j] = entries[j - 1];
+      }
+      entries[j] = e;
+    }
+  } else {
+    std::sort(entries, entries + k,
+              [&](std::int64_t a, std::int64_t b) {
+                return slot_of(a) < slot_of(b);
+              });
+  }
+  const std::int64_t base = g_->slot(v, 0);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    const std::int64_t slot = slot_of(entries[i]);
+    const auto s = static_cast<std::size_t>(slot);
+    const int p = static_cast<int>(slot - base);
+    const auto sender = static_cast<std::size_t>(
+        entries[i] >> kTouchSenderShift);
+    const auto& words = in.words[sender];
+    inbox.msgs_.push_back(
+        MsgView{p, std::span<const std::int64_t>(
+                       words.data() + in.off[s], in.len[s])});
+  }
+}
+
+void Runtime::sparse_step(int shard, VertexProgram& program) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  const Arena& in = arenas_[in_idx_];
+  const std::int32_t want = stamp_base_ + round_ - 1;
+  const auto k_shards = static_cast<std::size_t>(num_shards_);
+
+  // Total messages written last round (the flat per-sender index is not
+  // receiver-partitioned, so this upper-bounds this shard's share). Any
+  // sender overflowing its recording cap forces the port-scan mode.
+  std::uint64_t total_touched = 0;
+  bool overflow = false;
+  for (std::size_t sender = 0; sender < k_shards; ++sender) {
+    total_touched += in.touched[sender].size();
+    overflow |= in.touch_overflow[sender] != 0;
+  }
+
+  const bool grouped = in.indexed && !overflow &&
+                       total_touched * kGroupedDeliveryFactor <= sh.live_ports;
+  std::uint32_t mine = 0;
+  if (grouped) {
+    // Sender-driven assembly: filter the index down to this shard's vertex
+    // range via the recorded receivers (no owner-table lookups), count
+    // messages per receiver (stamped, so no clears), carve contiguous
+    // groups in first-touch order, then fill with packed (sender, slot)
+    // entries.
+    sh.receivers.clear();
+    for (std::size_t sender = 0; sender < k_shards; ++sender) {
+      const auto& recv = in.touched_recv[sender];
+      for (const V r : recv) {
+        if (r < sh.first || r >= sh.last) continue;
+        const auto v = static_cast<std::size_t>(r);
+        RecvMeta& m = recv_meta_[v];
+        if (m.stamp != want) {
+          m.stamp = want;
+          m.count = 0;
+          sh.receivers.push_back(r);
+        }
+        ++m.count;
+        ++mine;
+      }
+    }
+    sh.grouped.resize(static_cast<std::size_t>(mine));
+    std::uint32_t off = 0;
+    for (const V r : sh.receivers) {
+      const auto v = static_cast<std::size_t>(r);
+      RecvMeta& m = recv_meta_[v];
+      m.off = off;
+      off += m.count;
+      m.count = 0;  // becomes the fill cursor, restored to the count
+    }
+    for (std::size_t sender = 0; sender < k_shards; ++sender) {
+      const auto& slots = in.touched[sender];
+      const auto& recv = in.touched_recv[sender];
+      const std::int64_t sender_tag = static_cast<std::int64_t>(sender)
+                                      << kTouchSenderShift;
+      for (std::size_t i = 0; i < recv.size(); ++i) {
+        const V r = recv[i];
+        if (r < sh.first || r >= sh.last) continue;
+        RecvMeta& m = recv_meta_[static_cast<std::size_t>(r)];
+        sh.grouped[m.off + m.count++] = sender_tag | slots[i];
+      }
+    }
+  }
+
+  // Sweep the live list in canonical (ascending) order, compacting it in
+  // place: only step(v) itself can halt v, so survival is known right after
+  // the call and the list never needs a separate rebuild pass.
+  const std::vector<std::int64_t>* sole_words =
+      num_shards_ == 1 ? in.words.data() : nullptr;
+  Inbox& inbox = sh.inbox;
+  std::size_t w = 0;
+  std::uint64_t next_ports = 0;
+  const std::size_t live_count = sh.live.size();
+  for (std::size_t i = 0; i < live_count; ++i) {
+    const V v = sh.live[i];
+    inbox.msgs_.clear();
+    if (grouped) {
+      if (recv_meta_[static_cast<std::size_t>(v)].stamp == want) {
+        assemble_grouped_inbox(shard, v, in, inbox);
+      }
+    } else {
       const int deg = g_->degree(v);
       const std::int64_t base = g_->slot(v, 0);
       for (int p = 0; p < deg; ++p) {
         const auto s = static_cast<std::size_t>(base + p);
         if (in.epoch[s] != want) continue;
         const auto& words =
-            sole_words
-                ? *sole_words
-                : in.words[static_cast<std::size_t>(shard_of(g_->neighbor(v, p)))];
+            sole_words ? *sole_words
+                       : in.words[static_cast<std::size_t>(
+                             shard_of(g_->neighbor(v, p)))];
         inbox.msgs_.push_back(
             MsgView{p, std::span<const std::int64_t>(
                            words.data() + in.off[s], in.len[s])});
       }
+    }
+    sh.work_items += 1 + inbox.msgs_.size();
+    {
       Ctx ctx(*this, shard, v);
       ProgramScope callback;
       program.step(ctx, inbox);
     }
-  } catch (...) {
-    sh.error = std::current_exception();
+    if (!halted_[static_cast<std::size_t>(v)]) {
+      sh.live[w++] = v;
+      next_ports += static_cast<std::uint64_t>(g_->degree(v));
+    }
   }
+  sh.live.resize(w);
+  sh.live_ports = next_ports;
 }
 
 void Runtime::merge_shards() {
@@ -387,10 +647,12 @@ void Runtime::merge_shards() {
   for (Shard& sh : shards_) {
     stats_.messages += sh.messages;
     stats_.words += sh.words;
+    stats_.work_items += sh.work_items;
     stats_.max_msg_words = std::max(stats_.max_msg_words, sh.max_msg_words);
     live_ -= sh.newly_halted;
     sh.messages = 0;
     sh.words = 0;
+    sh.work_items = 0;
     sh.max_msg_words = 0;
     sh.newly_halted = 0;
   }
@@ -435,6 +697,9 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
     for (Arena& arena : arenas_) {
       std::fill(arena.epoch.begin(), arena.epoch.end(), -1);
     }
+    // The per-vertex delivery stamps share the session-round numbering and
+    // must wrap with it.
+    for (RecvMeta& m : recv_meta_) m.stamp = -1;
     stamp_base_ = 0;
   }
   // On every exit -- including a round-cap throw mid-phase -- advance the
@@ -448,9 +713,11 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
   std::fill(halted_.begin(), halted_.end(), 0);
   live_ = n;
   round_ = 0;
+  phase_sparse_ = scheduler_ == Scheduler::kSparse;
   stats_.rounds = 0;
   stats_.messages = 0;
   stats_.words = 0;
+  stats_.work_items = 0;
   stats_.max_msg_words = 0;
   stats_.active_per_round.clear();
   stats_.active_per_round.reserve(
@@ -460,6 +727,9 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
       static_cast<std::size_t>(std::clamp(max_rounds, 0, 1 << 12)) + 1);
   for (Arena& arena : arenas_) {
     for (auto& words : arena.words) words.clear();
+    for (auto& t : arena.touched) t.clear();
+    for (auto& t : arena.touched_recv) t.clear();
+    std::fill(arena.touch_overflow.begin(), arena.touch_overflow.end(), 0);
   }
   in_idx_ = 0;  // begin (round 0) writes arenas_[1]; round 1 reads it
   program_ = &program;
@@ -473,7 +743,12 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
         std::min<std::int64_t>(msg_word_cap_, phase_contract_words_);
   }
 
+  // Begin() has no message history to predict from; record (capped), so a
+  // halt-heavy begin can hand round 1 a grouped delivery.
+  record_touched_ = phase_sparse_;
+  arenas_[1].indexed = record_touched_;
   std::uint64_t words_before = stats_.words;
+  std::uint64_t msgs_before = stats_.messages;
   dispatch(/*is_begin=*/true);
   merge_shards();
   stats_.words_per_round.push_back(stats_.words - words_before);
@@ -487,8 +762,25 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
     ++round_;
     stats_.active_per_round.push_back(live_);
     in_idx_ = 1 - in_idx_;
-    for (auto& words : arenas_[1 - in_idx_].words) words.clear();
+    Arena& out = arenas_[1 - in_idx_];
+    for (auto& words : out.words) words.clear();
+    for (auto& t : out.touched) t.clear();
+    for (auto& t : out.touched_recv) t.clear();
+    std::fill(out.touch_overflow.begin(), out.touch_overflow.end(), 0);
+    if (phase_sparse_) {
+      // Record this round's sends only if the previous round's message
+      // volume was sparse relative to the CURRENT live port space --
+      // volume changes slowly round over round, and a wrong guess costs
+      // one round of port-scan delivery, already bounded by the compacted
+      // live list.
+      std::uint64_t total_ports = 0;
+      for (const Shard& sh : shards_) total_ports += sh.live_ports;
+      const std::uint64_t last_msgs = stats_.messages - msgs_before;
+      record_touched_ = last_msgs * kTouchRecordFactor <= total_ports;
+    }
+    out.indexed = record_touched_;
     words_before = stats_.words;
+    msgs_before = stats_.messages;
     dispatch(/*is_begin=*/false);
     merge_shards();
     stats_.words_per_round.push_back(stats_.words - words_before);

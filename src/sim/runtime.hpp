@@ -32,10 +32,24 @@
 // slot-routed through a double-buffered arena. A send on (v, port) lands
 // directly in the mirror slot's inbox cell via the Graph's O(1) mirror map;
 // payload words are appended to a flat per-shard word buffer. There is no
-// per-message heap allocation and no per-round sorting -- delivery is a
-// linear sweep over each active vertex's ports. A vertex may send at most
-// one message per incident edge per round (the standard LOCAL convention;
-// violating it throws invariant_error).
+// per-message heap allocation and no per-round sorting of the arena itself.
+// A vertex may send at most one message per incident edge per round (the
+// standard LOCAL convention; violating it throws invariant_error).
+//
+// Sparse scheduling (see DESIGN.md, "Sparse scheduling"): the paper's
+// Section 1.4 observation that "all vertices are active at (almost) all
+// times" holds for the headline presets as a whole, but most individual
+// sub-phases (layer peeling, greedy sweeps, refinement tails) spend the
+// bulk of their rounds with a small, shrinking live set. The default
+// Scheduler::kSparse therefore drives each round by the live set and the
+// messages actually written: every shard keeps a compacted, canonically
+// ordered live-vertex list (maintained incrementally as vertices halt, not
+// re-derived by an O(n) flag sweep), and senders record the slots they
+// write into per-shard touched-slot lists so a receiver's inbox can be
+// assembled from exactly the cells written for it. Per-round cost is
+// O(live + messages) instead of O(n + sum_{live} deg). Scheduler::kDense
+// preserves the legacy full-sweep executor for A/B verification; both
+// schedulers are bit-identical in outputs, RunStats and PhaseLog.
 //
 // Sharded execution: the vertex set is split into `shards` fixed contiguous
 // blocks; each round, shards step their vertices concurrently and write
@@ -103,10 +117,31 @@ class bandwidth_error : public invariant_error {
   bool from_contract;  ///< true: program max_words(); false: session budget
 };
 
+/// Executor scheduling strategy. The choice never affects program outputs,
+/// RunStats or the PhaseLog -- only wall-clock -- and is verified bit-
+/// identical by the test suite.
+enum class Scheduler {
+  /// Keep the session's current scheduler (used by Knobs-style toggles and
+  /// ScopedScheduler as the "no override" value).
+  kSession = 0,
+  /// Live-list + sender-driven delivery: O(live + messages) per round. The
+  /// default.
+  kSparse,
+  /// Legacy full-sweep executor: O(n + sum_{live} deg) per round. Kept as
+  /// the A/B baseline for the sparse path.
+  kDense,
+};
+
 struct RunStats {
   int rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t words = 0;
+  /// Algorithmic work of the phase: one item per program activation (a
+  /// begin() or step() call) plus one per delivered inbox message. By
+  /// construction this is scheduler-invariant (it counts the work the
+  /// algorithm demands, not executor-internal scanning), so benches can
+  /// report work vs wall time and sparse/dense A/B runs stay bit-identical.
+  std::uint64_t work_items = 0;
   /// Widest single message payload (words) observed during the phase; the
   /// phase ran within the CONGEST model iff this is <= the word budget.
   std::uint32_t max_msg_words = 0;
@@ -122,10 +157,17 @@ struct RunStats {
   /// R rounds contributes R active counts but R+1 bandwidth samples).
   std::vector<std::uint64_t> words_per_round;
 
+  /// Full bitwise comparison, counters and series alike: the test suite's
+  /// shard-count/scheduler bit-identity checks and the benches' A/B
+  /// attestations all compare through this one operator, so a new field
+  /// can never be silently left out of an identity check.
+  friend bool operator==(const RunStats&, const RunStats&) = default;
+
   RunStats& operator+=(const RunStats& other) {
     rounds += other.rounds;
     messages += other.messages;
     words += other.words;
+    work_items += other.work_items;
     max_msg_words = std::max(max_msg_words, other.max_msg_words);
     active_per_round.insert(active_per_round.end(),
                             other.active_per_round.begin(),
@@ -186,6 +228,8 @@ class PhaseLog {
     std::int32_t rounds = 0;
     std::uint64_t messages = 0;
     std::uint64_t words = 0;
+    /// Activations + delivered messages (see RunStats::work_items).
+    std::uint64_t work_items = 0;
     /// Widest message of the phase (spans: max over the subtree).
     std::uint32_t max_msg_words = 0;
     std::uint32_t active_off = 0;  // into the active arena (leaves only)
@@ -226,6 +270,12 @@ class PhaseLog {
 
   /// Index one past the end of entry i's subtree (i + 1 for leaves).
   std::size_t subtree_end(std::size_t i) const;
+
+  /// Peak per-round live-vertex count of entry i (spans: max over the
+  /// subtree's leaves). 0 for phases with no communication rounds. This is
+  /// the `peak_live` field benches emit so the sparse-scheduler speedup
+  /// claims are auditable from bench artifacts alone.
+  std::int32_t peak_active(std::size_t i) const;
 
   /// Sequential composition of all top-level (depth 0) entries: equals the
   /// sum of every leaf, since spans aggregate their subtrees.
@@ -383,6 +433,15 @@ class Runtime {
   void set_congest_words(int words) { congest_words_ = words < 0 ? 0 : words; }
   int congest_words() const { return congest_words_; }
 
+  /// Selects the executor for subsequent run_phase calls. kSession is a
+  /// no-op (keeps the current choice); fresh sessions start on kSparse.
+  /// Program outputs, RunStats and the PhaseLog are bit-identical under
+  /// either scheduler -- only wall-clock differs.
+  void set_scheduler(Scheduler s) {
+    if (s != Scheduler::kSession) scheduler_ = s;
+  }
+  Scheduler scheduler() const { return scheduler_; }
+
   PhaseLog& log() { return log_; }
   const PhaseLog& log() const { return log_; }
   /// Forgets recorded phases but keeps log arena capacity (warm reuse
@@ -432,6 +491,27 @@ class Runtime {
     std::vector<std::uint32_t> off;
     std::vector<std::uint32_t> len;
     std::vector<std::vector<std::int64_t>> words;  // one per shard
+    /// Sender-driven delivery index (sparse scheduler only): the inbox
+    /// slots each sending shard wrote this round, as one flat list per
+    /// sender so recording costs a single bounds-checked append on the
+    /// send path (receivers filter by their contiguous slot range, which
+    /// vertex-contiguous shards get for free). Recording stops at the
+    /// runtime's touch cap -- the matching overflow flag forces port-scan
+    /// delivery, which is the right mode at such message volumes anyway.
+    /// Cleared per round; capacity persists.
+    std::vector<std::vector<std::int64_t>> touched;
+    /// Receiver vertex of each touched slot, recorded by the sender (which
+    /// reads it from its own cached adjacency row): the delivery gather
+    /// filters and groups by receiver without ever touching the 2m-sized
+    /// slot-owner table, whose scattered lookups would cost a cache miss
+    /// per message.
+    std::vector<std::vector<V>> touched_recv;
+    std::vector<std::uint8_t> touch_overflow;  // one per sender shard
+    /// Whether senders recorded into `touched` this round. run_phase turns
+    /// recording off for rounds whose previous round was message-dense --
+    /// the port scan will win there anyway, so the send path should not
+    /// pay a single instruction for the index.
+    bool indexed = false;
   };
 
   /// Mutable per-shard executor state. Everything a concurrent shard writes
@@ -439,13 +519,33 @@ class Runtime {
   /// vertices), so the round loop needs no locks.
   struct Shard {
     V first = 0, last = 0;  // vertex range [first, last)
+    /// Slot range of the shard's vertices (contiguous because the vertex
+    /// range is): its size is the exact upper bound on messages the shard
+    /// can receive per round, used to pre-size the grouped workspace.
+    std::int64_t slot_lo = 0, slot_hi = 0;
     Inbox inbox;
     std::array<std::vector<std::int64_t>, Ctx::kNumScratch> scratch;
     std::uint64_t messages = 0;
     std::uint64_t words = 0;
+    std::uint64_t work_items = 0;
     std::uint32_t max_msg_words = 0;
     V newly_halted = 0;
     std::exception_ptr error;
+    /// Sparse scheduler: the shard's non-halted vertices in ascending
+    /// (canonical) order. Rebuilt after begin(), then compacted in place
+    /// during each step sweep -- a vertex can only halt itself, so the
+    /// sweep that runs step(v) also decides v's survival. Never re-derived
+    /// from the halted flags between rounds.
+    std::vector<V> live;
+    /// Sum of degree(v) over `live`: the cost of a receiver-driven port
+    /// scan, maintained alongside the list so delivery can pick the
+    /// cheaper assembly mode per round.
+    std::uint64_t live_ports = 0;
+    /// Grouped-delivery workspace: touched slots destined to this shard,
+    /// grouped contiguously by receiving vertex (first-touch order), and
+    /// the distinct receivers. Capacity persists across rounds/phases.
+    std::vector<std::int64_t> grouped;
+    std::vector<V> receivers;
   };
 
   int shard_of(V v) const { return static_cast<int>(v / chunk_); }
@@ -453,6 +553,15 @@ class Runtime {
   void do_halt(int shard, V v);
   /// Runs begin() (round 0) or step() for every live vertex of one shard.
   void run_shard_phase(int shard, VertexProgram& program, bool is_begin);
+  /// Step sweep of the legacy dense executor: full vertex-range scan with
+  /// per-port inbox assembly.
+  void dense_step(int shard, VertexProgram& program);
+  /// Step sweep of the sparse executor: live-list driven, with per-round
+  /// choice between sender-driven grouped delivery and a live port scan.
+  void sparse_step(int shard, VertexProgram& program);
+  /// Assembles vertex v's inbox from its contiguous touched-slot group
+  /// (sorted into canonical port order in place).
+  void assemble_grouped_inbox(int shard, V v, const Arena& in, Inbox& inbox);
   /// Folds per-shard counters into stats_/live_ (serial, canonical order)
   /// and rethrows the first shard error.
   void merge_shards();
@@ -469,6 +578,30 @@ class Runtime {
   std::vector<std::uint8_t> halted_;
   V live_ = 0;
   int round_ = 0;
+  Scheduler scheduler_ = Scheduler::kSparse;
+  /// Scheduler captured at phase start, so a mid-phase set_scheduler call
+  /// cannot desynchronize the shards.
+  bool phase_sparse_ = true;
+  /// Per-sender-shard cap on touched-slot recording per round: beyond it a
+  /// round is dense enough that grouped delivery would lose to the port
+  /// scan, so the sender stops paying for the index and flags overflow.
+  std::size_t touch_cap_ = 0;
+  /// Round-granular recording gate, decided by run_phase from the previous
+  /// round's message count against the current live port space. False on
+  /// message-dense rounds, where do_send skips the index behind a single
+  /// predictable branch.
+  bool record_touched_ = true;
+  /// Per-vertex grouped-delivery bookkeeping, written only by the owning
+  /// shard. Stamped with the delivery round (stamp_base_ + round_ - 1) so
+  /// no per-round or per-phase clear is needed, mirroring the arena
+  /// epochs. One struct (not three arrays) so the gather's scattered
+  /// accesses touch one cache line per vertex, not three.
+  struct RecvMeta {
+    std::int32_t stamp = -1;
+    std::uint32_t count = 0;
+    std::uint32_t off = 0;
+  };
+  std::vector<RecvMeta> recv_meta_;
   /// Session-round base of the current phase: epoch stamps are
   /// stamp_base_ + round_. Advanced past every stamp the finished phase
   /// wrote; wraps (with a full epoch reset) long before int32 overflow.
@@ -530,6 +663,28 @@ class ScopedDefaultShards {
 
  private:
   int previous_;
+  bool active_;
+};
+
+/// Scoped override of a session's executor scheduler; Scheduler::kSession
+/// leaves the current choice untouched (no-op guard). Restores on
+/// destruction, so drivers can run an A/B phase without mutating a
+/// caller-provided session permanently.
+class ScopedScheduler {
+ public:
+  ScopedScheduler(Runtime& rt, Scheduler s)
+      : rt_(&rt), previous_(rt.scheduler()), active_(s != Scheduler::kSession) {
+    if (active_) rt_->set_scheduler(s);
+  }
+  ~ScopedScheduler() {
+    if (active_) rt_->set_scheduler(previous_);
+  }
+  ScopedScheduler(const ScopedScheduler&) = delete;
+  ScopedScheduler& operator=(const ScopedScheduler&) = delete;
+
+ private:
+  Runtime* rt_;
+  Scheduler previous_;
   bool active_;
 };
 

@@ -42,6 +42,45 @@ TEST(Graph, AdjacencySortedAndQueryable) {
   EXPECT_EQ(g.port_of(3, 3), -1);
 }
 
+TEST(Graph, PortOfCoversFirstLastAndAbsentNeighbors) {
+  // Exercise both lookup paths: degree <= 16 takes the early-exit linear
+  // scan, larger degrees the binary search. A star center of degree 40
+  // with only even-indexed leaves attached gives first/last/absent cases
+  // on the search path; a small path graph covers the scan path.
+  EdgeList star_edges;
+  for (V u = 1; u <= 80; u += 2) star_edges.emplace_back(0, u);
+  const Graph star = Graph::from_edges(81, star_edges);
+  ASSERT_EQ(star.degree(0), 40);
+  EXPECT_EQ(star.port_of(0, 1), 0);    // first neighbor
+  EXPECT_EQ(star.port_of(0, 79), 39);  // last neighbor
+  EXPECT_EQ(star.port_of(0, 2), -1);   // absent, between neighbors
+  EXPECT_EQ(star.port_of(0, 0), -1);   // absent, below the first
+  EXPECT_EQ(star.port_of(0, 80), -1);  // absent, above the last
+  EXPECT_EQ(star.port_of(1, 0), 0);    // leaf side: sole neighbor
+  EXPECT_EQ(star.port_of(1, 3), -1);
+  EXPECT_EQ(star.port_of(2, 0), -1);   // isolated vertex: empty adjacency
+
+  const Graph path = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(path.port_of(2, 1), 0);   // first
+  EXPECT_EQ(path.port_of(2, 3), 1);   // last
+  EXPECT_EQ(path.port_of(2, 0), -1);  // absent below
+  EXPECT_EQ(path.port_of(2, 2), -1);  // absent between (self)
+  EXPECT_EQ(path.port_of(2, 4), -1);  // absent above
+
+  // Cross-check both paths against a reference scan on every (v, u) pair.
+  for (const Graph& g : {star, path}) {
+    for (V v = 0; v < g.num_vertices(); ++v) {
+      for (V u = 0; u < g.num_vertices(); ++u) {
+        const auto nb = g.neighbors(v);
+        const auto it = std::find(nb.begin(), nb.end(), u);
+        const int want =
+            it == nb.end() ? -1 : static_cast<int>(it - nb.begin());
+        ASSERT_EQ(g.port_of(v, u), want) << "v=" << v << " u=" << u;
+      }
+    }
+  }
+}
+
 TEST(Graph, MirrorSlotsAreInvolutive) {
   Graph g = Graph::from_edges(6, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 4}, {4, 5}});
   for (std::int64_t s = 0; s < g.num_slots(); ++s) {

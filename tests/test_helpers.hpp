@@ -11,10 +11,7 @@
 namespace dvc_test {
 
 inline bool same_stats(const dvc::sim::RunStats& a, const dvc::sim::RunStats& b) {
-  return a.rounds == b.rounds && a.messages == b.messages &&
-         a.words == b.words && a.max_msg_words == b.max_msg_words &&
-         a.active_per_round == b.active_per_round &&
-         a.words_per_round == b.words_per_round;
+  return a == b;  // RunStats::operator== covers every field, new ones too
 }
 
 /// Densest LOCAL-model schedule: every vertex broadcasts a 3-word payload

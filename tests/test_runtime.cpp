@@ -88,29 +88,64 @@ TEST(Runtime, PresetOnSessionMatchesFacadeAndIsShardInvariant) {
 TEST(Runtime, PhasesAfterTheFirstAllocateNothing) {
   const Graph g = random_near_regular(2048, 8, 3);
   constexpr int kRounds = 12;
-  for (const int shards : {1, 2, 8}) {
-    SCOPED_TRACE("shards=" + std::to_string(shards));
-    sim::Runtime rt(g, shards);
-    // Metering enforcement on: the CONGEST budget check must not cost
-    // allocations either (FloodAll sends 3-word payloads).
-    rt.set_congest_words(3);
-    {
-      FloodAll warm(kRounds);
-      rt.run_phase(warm, kRounds + sim::kRoundCapSlack, "flood");
+  for (const sim::Scheduler sched :
+       {sim::Scheduler::kSparse, sim::Scheduler::kDense}) {
+    for (const int shards : {1, 2, 8}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " scheduler=" +
+                   (sched == sim::Scheduler::kSparse ? "sparse" : "dense"));
+      sim::Runtime rt(g, shards);
+      rt.set_scheduler(sched);
+      // Metering enforcement on: the CONGEST budget check must not cost
+      // allocations either (FloodAll sends 3-word payloads).
+      rt.set_congest_words(3);
+      {
+        FloodAll warm(kRounds);
+        rt.run_phase(warm, kRounds + sim::kRoundCapSlack, "flood");
+      }
+      // Every subsequent phase -- including its PhaseLog entry -- must
+      // reuse warm capacity. The FloodAll program itself performs no
+      // allocations, so the whole-binary counter must not move.
+      const std::uint64_t before = dvc_test::alloc_count();
+      for (int i = 0; i < 3; ++i) {
+        FloodAll prog(kRounds);
+        const sim::RunStats& stats =
+            rt.run_phase(prog, kRounds + sim::kRoundCapSlack, "flood");
+        if (stats.messages == 0) break;  // unreachable; keeps stats observable
+      }
+      EXPECT_EQ(dvc_test::alloc_count() - before, 0u)
+          << "a warm phase allocated at " << shards << " shards";
+      ASSERT_EQ(rt.log().size(), 4u);
     }
-    // Every subsequent phase -- including its PhaseLog entry -- must reuse
-    // warm capacity. The FloodAll program itself performs no allocations,
-    // so the whole-binary counter must not move.
-    const std::uint64_t before = dvc_test::alloc_count();
-    for (int i = 0; i < 3; ++i) {
+  }
+}
+
+TEST(Runtime, WarmRoundsOfTheFirstPhaseAllocateNothing) {
+  // The constructor reserves every delivery-path buffer to its exact upper
+  // bound (live list and receivers to the shard's vertex range, the grouped
+  // workspace to the shard's slot count, the inbox to the shard's max
+  // degree), so even within the FIRST phase of a cold session only the
+  // flood's first two rounds -- which warm the double-buffered word and
+  // touched arenas -- may allocate; from round 3 on the counter is frozen.
+  const Graph g = random_near_regular(2048, 8, 5);
+  constexpr int kRounds = 12;
+  for (const sim::Scheduler sched :
+       {sim::Scheduler::kSparse, sim::Scheduler::kDense}) {
+    for (const int shards : {1, 4}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) + " scheduler=" +
+                   (sched == sim::Scheduler::kSparse ? "sparse" : "dense"));
+      sim::Runtime rt(g, shards);
+      rt.set_scheduler(sched);
+      std::uint64_t at_round2 = 0;
+      std::uint64_t late_allocs = 0;
+      rt.set_round_observer([&](int round) {
+        if (round == 2) at_round2 = dvc_test::alloc_count();
+        if (round > 2) late_allocs = dvc_test::alloc_count() - at_round2;
+      });
       FloodAll prog(kRounds);
-      const sim::RunStats& stats =
-          rt.run_phase(prog, kRounds + sim::kRoundCapSlack, "flood");
-      if (stats.messages == 0) break;  // unreachable; keeps stats observable
+      rt.run_phase(prog, kRounds + sim::kRoundCapSlack, "flood");
+      EXPECT_EQ(late_allocs, 0u)
+          << "a round after the arena warm-up allocated";
     }
-    EXPECT_EQ(dvc_test::alloc_count() - before, 0u)
-        << "a warm phase allocated at " << shards << " shards";
-    ASSERT_EQ(rt.log().size(), 4u);
   }
 }
 
@@ -166,7 +201,188 @@ TEST(Runtime, CaughtProgramErrorDoesNotPoisonTheNextPhase) {
   EXPECT_NO_THROW(rt.run_phase(good, 4, "good"));
 }
 
-// --- 4. CONGEST bandwidth accounting ---------------------------------------
+// --- 4. Sparse vs dense scheduler bit-identity ------------------------------
+
+TEST(Runtime, SparseAndDenseSchedulersAreBitIdenticalOnEveryPreset) {
+  // The scheduler is a pure executor choice: colors, RunStats (including
+  // work_items) and the PhaseLog must match bit for bit on all six presets
+  // at 1/2/8 shards.
+  const Graph g = planted_arboricity(1 << 10, 8, 21);
+  for (const Preset preset :
+       {Preset::LinearColors, Preset::NearLinearColors, Preset::PolylogTime,
+        Preset::FastSubquadratic, Preset::TradeoffAT,
+        Preset::DeltaPlusOneLowArb}) {
+    Knobs dense;
+    dense.scheduler = sim::Scheduler::kDense;
+    dense.shards = 1;
+    dense.t = 2;
+    const LegalColoringResult base = color_graph(g, 8, preset, dense);
+    for (const int shards : {1, 2, 8}) {
+      SCOPED_TRACE("preset=" + preset_name(preset) +
+                   " shards=" + std::to_string(shards));
+      sim::Runtime rt(g, shards);
+      ASSERT_EQ(rt.scheduler(), sim::Scheduler::kSparse);  // the default
+      Knobs sparse;
+      sparse.scheduler = sim::Scheduler::kSparse;
+      sparse.t = 2;
+      const LegalColoringResult res = color_graph(rt, 8, preset, sparse);
+      EXPECT_EQ(res.colors, base.colors);
+      EXPECT_EQ(res.distinct, base.distinct);
+      EXPECT_TRUE(same_stats(res.total, base.total));
+      EXPECT_TRUE(res.phases == base.phases)
+          << "phase log differs from the dense baseline";
+      // The Knobs override is scoped: the session scheduler is restored.
+      EXPECT_EQ(rt.scheduler(), sim::Scheduler::kSparse);
+    }
+  }
+}
+
+namespace adversarial {
+
+/// Halt-heavy adversarial program: ~90% of vertices broadcast once and halt
+/// in begin(); the survivors keep exchanging on two ports with staggered
+/// halts, so the live list compacts a little every round. Round 1 delivers
+/// the dense begin() broadcasts (port-scan mode) while later rounds carry
+/// only the survivors' trickle (grouped sender-driven mode), exercising
+/// both sparse delivery modes -- plus messages addressed to already-halted
+/// vertices, which must be dropped -- in one phase. Each vertex folds its
+/// inbox into a per-vertex digest so tests can compare the exact delivered
+/// contents, not just counters.
+class HaltHeavy : public sim::VertexProgram {
+ public:
+  explicit HaltHeavy(std::vector<std::int64_t>& digest) : digest_(digest) {}
+  std::string name() const override { return "halt-heavy"; }
+  int max_words() const override { return 2; }
+  void begin(sim::Ctx& ctx) override {
+    ctx.broadcast({ctx.id(), 0});
+    if (ctx.id() % 10 != 0) ctx.halt();
+  }
+  void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
+    auto& d = digest_[static_cast<std::size_t>(ctx.vertex())];
+    for (const sim::MsgView& m : inbox) {
+      d += (m.port + 1) * (m.data[0] * 31 + m.data[1]);
+    }
+    if (ctx.round() > (ctx.id() / 10) % 5 + 2) {
+      ctx.halt();
+      return;
+    }
+    if (ctx.degree() > 0) ctx.send(0, {ctx.id(), ctx.round()});
+    if (ctx.degree() > 1) ctx.send(ctx.degree() - 1, {ctx.id(), ctx.round()});
+  }
+
+ private:
+  std::vector<std::int64_t>& digest_;
+};
+
+}  // namespace adversarial
+
+TEST(Runtime, HaltHeavyProgramMatchesDenseSchedulerAtAnyShardCount) {
+  const Graph g = random_near_regular(1 << 11, 8, 29);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+
+  std::vector<std::int64_t> base_digest(n, 0);
+  sim::Runtime base_rt(g, 1);
+  base_rt.set_scheduler(sim::Scheduler::kDense);
+  adversarial::HaltHeavy base_prog(base_digest);
+  const sim::RunStats base = base_rt.run_phase(base_prog, 64, "halt-heavy");
+  // The workload really is halt-heavy: ~10% of vertices survive begin().
+  ASSERT_FALSE(base.active_per_round.empty());
+  EXPECT_LE(base.active_per_round.front(), g.num_vertices() / 8);
+
+  for (const int shards : {1, 2, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    std::vector<std::int64_t> digest(n, 0);
+    sim::Runtime rt(g, shards);
+    adversarial::HaltHeavy prog(digest);
+    const sim::RunStats& stats = rt.run_phase(prog, 64, "halt-heavy");
+    EXPECT_TRUE(same_stats(stats, base));
+    EXPECT_EQ(digest, base_digest) << "delivered inbox contents differ";
+  }
+}
+
+namespace adversarial {
+
+/// Grouped-delivery workload: every vertex stays live for `rounds` rounds,
+/// but only 1-in-64 vertices send (one rotating port each round), so
+/// messages are far sparser than the live port space and the sparse
+/// scheduler's sender-driven grouped assembly is guaranteed to engage
+/// (under any reasonable grouped-vs-scan threshold). Receivers fold their
+/// inboxes into a digest so the test compares exact delivered contents.
+class FewSenders : public sim::VertexProgram {
+ public:
+  FewSenders(int rounds, std::vector<std::int64_t>& digest)
+      : rounds_(rounds), digest_(digest) {}
+  std::string name() const override { return "few-senders"; }
+  int max_words() const override { return 2; }
+  void begin(sim::Ctx& ctx) override { maybe_send(ctx); }
+  void step(sim::Ctx& ctx, const sim::Inbox& inbox) override {
+    auto& d = digest_[static_cast<std::size_t>(ctx.vertex())];
+    for (const sim::MsgView& m : inbox) {
+      d = d * 37 + (m.port + 1) * (m.data[0] + m.data[1]);
+    }
+    if (ctx.round() >= rounds_) {
+      ctx.halt();
+      return;
+    }
+    maybe_send(ctx);
+  }
+
+ private:
+  void maybe_send(sim::Ctx& ctx) {
+    if (ctx.id() % 64 != 0 || ctx.degree() == 0) return;
+    ctx.send(ctx.round() % ctx.degree(), {ctx.id(), ctx.round()});
+  }
+  int rounds_;
+  std::vector<std::int64_t>& digest_;
+};
+
+}  // namespace adversarial
+
+TEST(Runtime, GroupedDeliveryMatchesDenseSchedulerAtAnyShardCount) {
+  const Graph g = random_near_regular(1 << 11, 8, 43);
+  const auto n = static_cast<std::size_t>(g.num_vertices());
+  constexpr int kRounds = 12;
+
+  std::vector<std::int64_t> base_digest(n, 0);
+  sim::Runtime base_rt(g, 1);
+  base_rt.set_scheduler(sim::Scheduler::kDense);
+  adversarial::FewSenders base_prog(kRounds, base_digest);
+  const sim::RunStats base =
+      base_rt.run_phase(base_prog, kRounds + sim::kRoundCapSlack, "few");
+  // The workload delivers something (or the grouped path is vacuous).
+  ASSERT_GT(base.messages, 0u);
+
+  for (const int shards : {1, 2, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    std::vector<std::int64_t> digest(n, 0);
+    sim::Runtime rt(g, shards);
+    adversarial::FewSenders prog(kRounds, digest);
+    const sim::RunStats& stats =
+        rt.run_phase(prog, kRounds + sim::kRoundCapSlack, "few");
+    EXPECT_TRUE(same_stats(stats, base));
+    EXPECT_EQ(digest, base_digest) << "delivered inbox contents differ";
+  }
+}
+
+TEST(Runtime, WorkItemsCountActivationsPlusDeliveredMessages) {
+  // A deterministic closed form: FloodAll on an all-live graph activates
+  // every vertex in begin() and every round, and delivers every sent
+  // message one round later except those sent in the final (halting)
+  // round's predecessor... directly: activations = n * (rounds + 1);
+  // deliveries = messages arriving at live vertices = 2m * rounds (the
+  // last broadcast is sent in round rounds-1... FloodAll halts in round
+  // `rounds` after receiving, so every broadcast is delivered).
+  const Graph g = random_near_regular(512, 6, 31);
+  constexpr int kRounds = 5;
+  sim::Runtime rt(g);
+  dvc_test::FloodAll prog(kRounds);
+  const sim::RunStats& stats = rt.run_phase(prog, kRounds + sim::kRoundCapSlack);
+  const auto n = static_cast<std::uint64_t>(g.num_vertices());
+  const auto activations = n * static_cast<std::uint64_t>(stats.rounds + 1);
+  EXPECT_EQ(stats.work_items, activations + stats.messages);
+}
+
+// --- 5. CONGEST bandwidth accounting ---------------------------------------
 
 namespace bw {
 
