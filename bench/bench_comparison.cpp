@@ -24,6 +24,7 @@
 #include "baselines/luby.hpp"
 #include "baselines/rand_coloring.hpp"
 #include "bench_json.hpp"
+#include "bench_stats.hpp"
 #include "common/table.hpp"
 #include "core/api.hpp"
 #include "decomp/orientations.hpp"
@@ -54,14 +55,6 @@ int main() {
                       double wall_ms) {
       table.row(algorithm, deterministic, colors, stats.rounds, stats.messages,
                 stats.max_msg_words);
-      std::uint64_t peak_round_words = 0;
-      for (const std::uint64_t w : stats.words_per_round) {
-        peak_round_words = std::max(peak_round_words, w);
-      }
-      std::int32_t peak_live = 0;
-      for (const std::int32_t a : stats.active_per_round) {
-        peak_live = std::max(peak_live, a);
-      }
       sink.add(benchio::JsonRecord()
                    .field("bench", "comparison")
                    .field("algorithm", algorithm)
@@ -74,10 +67,10 @@ int main() {
                    .field("messages", stats.messages)
                    .field("total_words", stats.words)
                    .field("work_items", stats.work_items)
-                   .field("peak_live", peak_live)
+                   .field("peak_live", benchio::peak_active(stats))
                    .field("max_msg_words",
                           static_cast<std::int64_t>(stats.max_msg_words))
-                   .field("peak_round_words", peak_round_words)
+                   .field("peak_round_words", benchio::peak_round_words(stats))
                    .field("wall_ms", wall_ms));
     };
     // Presets run under the CONGEST budget: a send wider than

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_json.hpp"
+#include "bench_stats.hpp"
 #include "core/api.hpp"
 #include "core/legal_coloring.hpp"
 #include "decomp/h_partition.hpp"
@@ -38,11 +39,7 @@ using namespace dvc;
 using benchio::Clock;
 using benchio::ms_since;
 
-std::int32_t peak_live_of(const sim::RunStats& stats) {
-  std::int32_t peak = 0;
-  for (const std::int32_t a : stats.active_per_round) peak = std::max(peak, a);
-  return peak;
-}
+using benchio::peak_active;
 
 constexpr int kFloodRounds = 8;
 
@@ -148,23 +145,16 @@ void bench_flood_throughput(benchio::JsonSink& sink) {
     // Mailbox runtime (single shard: the apples-to-apples comparison).
     sim::Engine engine(g, /*shards=*/1);
     sim::RunStats stats;
-    double mailbox_ms = 1e300;
-    for (int rep = 0; rep < kReps; ++rep) {
+    const double mailbox_ms = benchio::min_ms_over(kReps, [&] {
       FloodAll prog;
-      const auto t0 = Clock::now();
       stats = engine.run(prog, kFloodRounds + 4);
-      mailbox_ms = std::min(mailbox_ms, ms_since(t0));
-    }
+    });
 
     // Legacy packet-engine replica on the identical schedule.
     LegacyPacketEngine legacy(g);
     LegacyPacketEngine::Stats legacy_stats;
-    double legacy_ms = 1e300;
-    for (int rep = 0; rep < kReps; ++rep) {
-      const auto t0 = Clock::now();
-      legacy_stats = legacy.run_flood();
-      legacy_ms = std::min(legacy_ms, ms_since(t0));
-    }
+    const double legacy_ms = benchio::min_ms_over(
+        kReps, [&] { legacy_stats = legacy.run_flood(); });
 
     const double mailbox_mps =
         static_cast<double>(stats.messages) / (mailbox_ms / 1e3);
@@ -240,34 +230,28 @@ void bench_phase_boundary(benchio::JsonSink& sink) {
 
     // Pre-Runtime architecture: every phase constructs its own engine,
     // re-allocating all arenas and re-spawning shards-1 worker threads.
-    double fresh_ms = 1e300;
     sim::RunStats fresh_stats;
-    for (int rep = 0; rep < kReps; ++rep) {
-      const auto t0 = Clock::now();
+    const double fresh_ms = benchio::min_ms_over(kReps, [&] {
       sim::RunStats total;
       for (int phase = 0; phase < kPhases; ++phase) {
         sim::Engine engine(g, cfg.shards);
         FloodPhase prog(cfg.rounds);
         total += engine.run(prog, cfg.rounds + sim::kRoundCapSlack);
       }
-      fresh_ms = std::min(fresh_ms, ms_since(t0));
       fresh_stats = total;
-    }
+    });
 
     // One session: arenas and the parked pool persist across all phases.
-    double runtime_ms = 1e300;
     sim::RunStats runtime_stats;
-    for (int rep = 0; rep < kReps; ++rep) {
-      const auto t0 = Clock::now();
+    const double runtime_ms = benchio::min_ms_over(kReps, [&] {
       sim::Runtime rt(g, cfg.shards);
       sim::RunStats total;
       for (int phase = 0; phase < kPhases; ++phase) {
         FloodPhase prog(cfg.rounds);
         total += rt.run_phase(prog, cfg.rounds + sim::kRoundCapSlack);
       }
-      runtime_ms = std::min(runtime_ms, ms_since(t0));
       runtime_stats = total;
-    }
+    });
 
     const double speedup = fresh_ms / runtime_ms;
     std::cout << "n=" << g.num_vertices() << " shards=" << cfg.shards
@@ -409,10 +393,10 @@ bool bench_scheduler(benchio::JsonSink& sink, bool smoke) {
     const bool identical = (dense_stats == sparse_stats);
     const double speedup = dense_ms / sparse_ms;
     const double live_fraction =
-        static_cast<double>(peak_live_of(sparse_stats)) /
+        static_cast<double>(peak_active(sparse_stats)) /
         static_cast<double>(cfg.g.num_vertices());
     std::cout << cfg.label << ": n=" << cfg.g.num_vertices()
-              << " live<=" << peak_live_of(sparse_stats) << " ("
+              << " live<=" << peak_active(sparse_stats) << " ("
               << 100.0 * live_fraction << "%), dense " << dense_ms
               << " ms, sparse " << sparse_ms << " ms, speedup " << speedup
               << "x, bit-identical=" << (identical ? "yes" : "NO") << "\n";
@@ -439,7 +423,7 @@ bool bench_scheduler(benchio::JsonSink& sink, bool smoke) {
           .field("rounds", stats->rounds)
           .field("messages", stats->messages)
           .field("work_items", stats->work_items)
-          .field("peak_live", peak_live_of(*stats))
+          .field("peak_live", peak_active(*stats))
           .field("live_fraction", live_fraction)
           .field("wall_ms", wall)
           .field("bit_identical", identical ? 1 : 0);
@@ -487,7 +471,7 @@ bool bench_scheduler(benchio::JsonSink& sink, bool smoke) {
                  .field("rounds", sparse_stats.rounds)
                  .field("messages", sparse_stats.messages)
                  .field("work_items", sparse_stats.work_items)
-                 .field("peak_live", peak_live_of(sparse_stats))
+                 .field("peak_live", peak_active(sparse_stats))
                  .field("dense_wall_ms", dense_ms)
                  .field("sparse_wall_ms", sparse_ms)
                  .field("sparse_over_dense", ratio)
@@ -536,7 +520,7 @@ bool bench_scheduler(benchio::JsonSink& sink, bool smoke) {
                    .field("rounds", res->total.rounds)
                    .field("messages", res->total.messages)
                    .field("work_items", res->total.work_items)
-                   .field("peak_live", peak_live_of(res->total))
+                   .field("peak_live", peak_active(res->total))
                    .field("wall_ms", wall)
                    .field("bit_identical", identical ? 1 : 0));
     }
@@ -569,10 +553,6 @@ void bench_substrate(benchio::JsonSink& sink) {
     std::cout << "legal_coloring n=" << g.num_vertices() << ": " << ms
               << " ms (" << res.distinct << " colors, " << res.total.rounds
               << " rounds, B=" << res.total.max_msg_words << " words/msg)\n";
-    std::uint64_t peak_round_words = 0;
-    for (const std::uint64_t w : res.total.words_per_round) {
-      peak_round_words = std::max(peak_round_words, w);
-    }
     sink.add(benchio::JsonRecord()
                  .field("bench", "legal_coloring")
                  .field("family", "planted_arboricity")
@@ -582,10 +562,10 @@ void bench_substrate(benchio::JsonSink& sink) {
                  .field("messages", res.total.messages)
                  .field("total_words", res.total.words)
                  .field("work_items", res.total.work_items)
-                 .field("peak_live", peak_live_of(res.total))
+                 .field("peak_live", peak_active(res.total))
                  .field("max_msg_words",
                         static_cast<std::int64_t>(res.total.max_msg_words))
-                 .field("peak_round_words", peak_round_words)
+                 .field("peak_round_words", benchio::peak_round_words(res.total))
                  .field("wall_ms", ms));
     // Per-phase breakdown from the session PhaseLog (depth encodes the
     // span tree; spans aggregate their subtrees). peak_live is derived

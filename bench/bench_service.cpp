@@ -1,0 +1,205 @@
+// E13 -- coloring-service load generator: throughput and latency of the
+// concurrent ColoringService on a mixed workload (three graph families x
+// four presets), against the single-session baseline.
+//
+// Two configurations over the SAME job list:
+//   * pool_size = 1: one worker, one warm session per (graph, shards) key
+//     -- the sequential baseline every other row is normalized against;
+//   * pool_size = 8 (configurable): the serving shape. Throughput should
+//     approach min(pool, cores) x the baseline on idle multi-core hosts;
+//     `speedup_vs_single_session` records what this host delivered, and
+//     `hw_threads` records how much parallelism it had to offer.
+//
+// Every record carries per-job latency percentiles (p50/p95/p99, from
+// bench_stats.hpp) plus pool/session statistics (warm-hit rate, cold
+// builds). A determinism attestation re-runs a sample of jobs solo through
+// the direct API and bitwise-compares colors/RunStats/PhaseLog against the
+// under-load results (the `bit_identical` field CI checks).
+//
+//   ./bench_service [--n=8192] [--jobs=48] [--pool=8] [--seed=1]
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "bench_stats.hpp"
+#include "common/cli.hpp"
+#include "core/api.hpp"
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace dvc;
+using benchio::Clock;
+using benchio::ms_since;
+
+struct Workload {
+  const char* family;
+  service::GraphRef graph;
+  int arboricity_bound;
+};
+
+struct LoadResult {
+  double wall_ms = 0.0;
+  double throughput_jobs_per_sec = 0.0;
+  benchio::LatencySummary latency;
+  service::SessionPool::Stats pool;
+  std::uint64_t store_hits = 0;
+  std::vector<service::JobResult> results;  // job order
+};
+
+/// Runs `specs` through a fresh service with `workers` workers and collects
+/// wall time, per-job latency (enqueue -> completion) and pool statistics.
+LoadResult run_load(const std::vector<service::JobSpec>& proto_specs,
+                    int workers) {
+  service::ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = proto_specs.size() + 1;
+  service::ColoringService svc(config);
+  // Re-intern each workload graph in this service's store so specs point at
+  // this instance's bindings (shared_ptr reuse keeps this free of copies).
+  std::vector<service::JobSpec> specs = proto_specs;
+  for (service::JobSpec& spec : specs) {
+    spec.graph = svc.intern(spec.graph.graph);
+  }
+
+  // Warm-up: the full job list once, so the measured pass is the steady
+  // state a long-running server sees (sessions warm, store populated).
+  {
+    std::vector<service::JobSpec> warm = specs;
+    for (service::JobTicket t : svc.submit_batch(std::move(warm))) {
+      (void)svc.wait(t);
+    }
+  }
+
+  LoadResult out;
+  const auto t0 = Clock::now();
+  std::vector<service::JobTicket> tickets = svc.submit_batch(std::move(specs));
+  svc.drain();
+  out.wall_ms = ms_since(t0);
+  out.results.reserve(tickets.size());
+  std::vector<double> latencies;
+  latencies.reserve(tickets.size());
+  for (const service::JobTicket t : tickets) {
+    service::JobResult res = svc.wait(t);
+    if (!res.ok) {
+      std::cerr << "job " << res.id << " FAILED: " << res.error << "\n";
+      std::exit(1);
+    }
+    latencies.push_back(res.queue_ms + res.run_ms);
+    out.results.push_back(std::move(res));
+  }
+  out.throughput_jobs_per_sec =
+      static_cast<double>(tickets.size()) / (out.wall_ms / 1e3);
+  out.latency = benchio::summarize_ms(std::move(latencies));
+  out.pool = svc.pool_stats();
+  out.store_hits = svc.store().hits();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dvc;
+  const Cli cli(argc, argv);
+  const V n = static_cast<V>(cli.get_int("n", 8192));
+  const int jobs = static_cast<int>(cli.get_int("jobs", 48));
+  const int pool = static_cast<int>(cli.get_int("pool", 8));
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const int hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+
+  std::cout << "E13: coloring-service load generator (n=" << n
+            << ", jobs=" << jobs << ", pool=" << pool
+            << ", hw_threads=" << hw_threads << ")\n\n";
+  benchio::JsonSink sink("service");
+
+  // The mixed topology set, interned once up front; job specs share these
+  // bindings across both service configurations.
+  service::GraphStore store;
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"planted_arboricity", store.intern(planted_arboricity(n, 6, seed)), 6});
+  workloads.push_back(
+      {"barabasi_albert", store.intern(barabasi_albert(n, 5, seed + 1)), 5});
+  workloads.push_back(
+      {"near_regular", store.intern(random_near_regular(n, 12, seed + 2)), 12});
+
+  const Preset presets[] = {Preset::NearLinearColors, Preset::LinearColors,
+                            Preset::PolylogTime, Preset::TradeoffAT};
+  std::vector<service::JobSpec> specs;
+  for (int j = 0; j < jobs; ++j) {
+    const Workload& w = workloads[static_cast<std::size_t>(j) % workloads.size()];
+    service::JobSpec spec;
+    spec.graph = w.graph;
+    spec.arboricity_bound = w.arboricity_bound;
+    spec.preset = presets[(static_cast<std::size_t>(j) / workloads.size()) %
+                          std::size(presets)];
+    specs.push_back(std::move(spec));
+  }
+
+  const LoadResult solo = run_load(specs, /*workers=*/1);
+  const LoadResult loaded = run_load(specs, /*workers=*/pool);
+  const double speedup =
+      loaded.throughput_jobs_per_sec / solo.throughput_jobs_per_sec;
+
+  // Determinism attestation: every preset once, solo through the direct
+  // API, bitwise-compared against the under-load service results.
+  bool identical = true;
+  for (std::size_t i = 0; i < loaded.results.size() &&
+                          i < workloads.size() * std::size(presets);
+       ++i) {
+    const service::JobResult& res = loaded.results[i];
+    const Workload& w = workloads[i % workloads.size()];
+    LegalColoringResult direct =
+        color_graph(*w.graph, w.arboricity_bound, res.preset, Knobs{});
+    if (direct.colors != res.result.colors ||
+        !(direct.total == res.result.total) ||
+        !(direct.phases == res.result.phases)) {
+      identical = false;
+      std::cout << "DETERMINISM VIOLATION: job " << res.id << " ("
+                << preset_name(res.preset) << " on " << w.family
+                << ") differs from its solo run\n";
+    }
+  }
+
+  for (const auto& [label, workers, res] :
+       {std::tuple<const char*, int, const LoadResult*>{"single_session", 1,
+                                                        &solo},
+        {"pool", pool, &loaded}}) {
+    std::cout << label << " (workers=" << workers << "): " << res->wall_ms
+              << " ms for " << jobs << " jobs = "
+              << res->throughput_jobs_per_sec << " jobs/s, p50 "
+              << res->latency.p50_ms << " ms, p95 " << res->latency.p95_ms
+              << " ms, p99 " << res->latency.p99_ms << " ms, warm hits "
+              << res->pool.warm_hits << "/" << res->pool.acquires << "\n";
+    benchio::JsonRecord rec;
+    rec.field("bench", "service")
+        .field("config", label)
+        .field("pool_size", workers)
+        .field("hw_threads", hw_threads)
+        .field("jobs", jobs)
+        .field("n", static_cast<std::int64_t>(n))
+        .field("families", static_cast<std::int64_t>(workloads.size()))
+        .field("wall_ms", res->wall_ms)
+        .field("throughput_jobs_per_sec", res->throughput_jobs_per_sec)
+        .field("warm_hits", res->pool.warm_hits)
+        .field("cold_builds", res->pool.cold_builds)
+        .field("idle_sessions",
+               static_cast<std::uint64_t>(res->pool.idle_sessions))
+        .field("bit_identical", identical ? 1 : 0);
+    benchio::latency_fields(rec, res->latency);
+    if (workers != 1) rec.field("speedup_vs_single_session", speedup);
+    sink.add(rec);
+  }
+
+  std::cout << "\npool speedup vs single session: " << speedup << "x ("
+            << "host offers " << hw_threads << " hardware threads)\n"
+            << "determinism under load: "
+            << (identical ? "bit-identical to solo runs\n" : "VIOLATED\n");
+  // Bit-identity is a hard failure anywhere; throughput is advisory (it
+  // depends on host parallelism), the JSON record is the tracked artifact.
+  return identical ? 0 : 1;
+}

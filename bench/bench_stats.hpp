@@ -1,0 +1,102 @@
+// Shared timing/aggregation helpers for the bench_* binaries.
+//
+// Before this header, bench_micro and bench_comparison each hand-rolled
+// their aggregation (best-of-N min loops, peak-of-series scans); the service
+// load generator needs full latency percentiles on top. One copy lives
+// here:
+//   * min_ms_over(reps, fn)      -- best-of-N wall time of a callable;
+//   * summarize_ms(samples)      -- min/mean/p50/p95/p99/max of a latency
+//                                   sample set (nearest-rank percentiles);
+//   * peak_round_words / peak_active -- maxima of the RunStats per-round
+//                                   series the records report.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "sim/runtime.hpp"
+
+namespace dvc::benchio {
+
+/// Best-of-N wall-clock milliseconds of `fn` (the standard microbench
+/// reduction: the minimum is the least-noisy estimator of the true cost).
+template <typename Fn>
+double min_ms_over(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, ms_since(t0));
+  }
+  return best;
+}
+
+/// Nearest-rank percentile of an ASCENDING-sorted sample set; p in
+/// [0, 100]: the ceil(p/100 * N)-th smallest value (1-based), so p50 of
+/// {1,2,3,4} is 2 and p99 of 100 samples is the 99th, not the maximum.
+inline double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (p <= 0.0) return sorted.front();
+  if (p >= 100.0) return sorted.back();
+  const double exact = p / 100.0 * static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(exact));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Order-insensitive summary of a latency sample set (sorts a copy).
+inline LatencySummary summarize_ms(std::vector<double> samples) {
+  LatencySummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min_ms = samples.front();
+  s.max_ms = samples.back();
+  double sum = 0.0;
+  for (const double x : samples) sum += x;
+  s.mean_ms = sum / static_cast<double>(samples.size());
+  s.p50_ms = percentile_sorted(samples, 50.0);
+  s.p95_ms = percentile_sorted(samples, 95.0);
+  s.p99_ms = percentile_sorted(samples, 99.0);
+  return s;
+}
+
+/// Widest per-step payload burst of a phase (max of words_per_round).
+inline std::uint64_t peak_round_words(const sim::RunStats& stats) {
+  std::uint64_t peak = 0;
+  for (const std::uint64_t w : stats.words_per_round) peak = std::max(peak, w);
+  return peak;
+}
+
+/// Peak per-round live-vertex count of a phase (max of active_per_round).
+inline std::int32_t peak_active(const sim::RunStats& stats) {
+  std::int32_t peak = 0;
+  for (const std::int32_t a : stats.active_per_round) peak = std::max(peak, a);
+  return peak;
+}
+
+/// Adds the standard latency fields to a JSON record.
+inline JsonRecord& latency_fields(JsonRecord& record, const LatencySummary& s) {
+  return record.field("latency_min_ms", s.min_ms)
+      .field("latency_mean_ms", s.mean_ms)
+      .field("p50_ms", s.p50_ms)
+      .field("p95_ms", s.p95_ms)
+      .field("p99_ms", s.p99_ms)
+      .field("latency_max_ms", s.max_ms);
+}
+
+}  // namespace dvc::benchio

@@ -87,4 +87,20 @@ MisResult mis_graph(const Graph& g, int arboricity_bound,
 MisResult mis_graph(sim::Runtime& rt, int arboricity_bound,
                     const Knobs& knobs = Knobs{});
 
+namespace service {
+class ColoringService;
+}  // namespace service
+
+/// Service-aware facade: the same one-call shape, executed through a shared
+/// service::ColoringService (see service/service.hpp). The graph is
+/// interned in the service's store under Graph::digest() -- only the first
+/// call per topology copies it -- and the run is dispatched to the service's
+/// worker pool on a warm session, blocking until the job completes. Results
+/// are bit-identical to the direct color_graph overloads for the same
+/// preset/knobs/shard count. A failed job rethrows as invariant_error
+/// carrying the job's structured error text. Defined in service/service.cpp.
+LegalColoringResult color_graph(service::ColoringService& svc, const Graph& g,
+                                int arboricity_bound, Preset preset,
+                                const Knobs& knobs = Knobs{});
+
 }  // namespace dvc

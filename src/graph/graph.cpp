@@ -62,6 +62,20 @@ Graph Graph::from_edges(V n, const EdgeList& edges) {
       g.mirror_[static_cast<std::size_t>(g.off_[v] + p)] = g.off_[u] + back;
     }
   }
+  // Content digest: the CSR arrays are canonical (adjacency sorted, edges
+  // deduped), so hashing the degree+neighbor stream gives a representation-
+  // independent topology hash. The per-vertex degree word keeps graphs with
+  // identical concatenated adjacency but different offsets apart.
+  std::uint64_t h = detail::digest_mix(
+      detail::digest_mix(0x64766367ULL /* "dvcg" */,
+                         static_cast<std::uint64_t>(n)),
+      static_cast<std::uint64_t>(g.m_));
+  for (V v = 0; v < n; ++v) {
+    const auto nb = g.neighbors(v);
+    h = detail::digest_mix(h, nb.size());
+    for (const V u : nb) h = detail::digest_mix(h, static_cast<std::uint64_t>(u));
+  }
+  g.digest_ = h;
   return g;
 }
 

@@ -18,6 +18,29 @@ namespace dvc {
 using V = std::int32_t;
 using EdgeList = std::vector<std::pair<V, V>>;
 
+namespace detail {
+
+/// splitmix64-based combiner for Graph::digest(): finalizes `x` through the
+/// splitmix64 permutation, then folds it into the running hash `h` with a
+/// position-dependent combine so equal multisets of values at different
+/// stream positions do not collide trivially.
+constexpr std::uint64_t digest_mix(std::uint64_t h, std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return (h ^ x) * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL;
+}
+
+/// Digest of the empty graph: the seed chain over n = 0, m = 0 with no
+/// adjacency stream. Default-constructed Graphs carry this value so they
+/// digest identically to from_edges(0, {}).
+constexpr std::uint64_t empty_graph_digest() {
+  return digest_mix(digest_mix(0x64766367ULL /* "dvcg" */, 0), 0);
+}
+
+}  // namespace detail
+
 class Graph {
  public:
   Graph() = default;
@@ -62,10 +85,19 @@ class Graph {
   /// All undirected edges as (u, v) with u < v.
   EdgeList edges() const;
 
+  /// Stable 64-bit content hash over (n, m, per-vertex degree + adjacency),
+  /// computed once at construction. Two Graphs built from the same vertex
+  /// count and edge set (in any input order -- from_edges canonicalizes)
+  /// share a digest; relabeling vertices changes it. Used by the service
+  /// layer's graph store to intern topologies, and stable across processes
+  /// and platforms (no pointers, no ASLR, fixed-width arithmetic).
+  std::uint64_t digest() const { return digest_; }
+
  private:
   V n_ = 0;
   std::int64_t m_ = 0;
   int max_deg_ = 0;
+  std::uint64_t digest_ = detail::empty_graph_digest();
   std::vector<std::int64_t> off_;  // size n+1
   std::vector<V> adj_;             // size 2m, sorted per vertex
   std::vector<std::int64_t> mirror_;  // size 2m

@@ -1,0 +1,63 @@
+#include "service/graph_store.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvc::service {
+
+GraphRef GraphStore::intern(Graph g) {
+  return intern_shared(std::make_shared<const Graph>(std::move(g)));
+}
+
+GraphRef GraphStore::intern(std::shared_ptr<const Graph> g) {
+  DVC_REQUIRE(g != nullptr, "cannot intern a null graph");
+  return intern_shared(std::move(g));
+}
+
+GraphRef GraphStore::intern_shared(std::shared_ptr<const Graph> g) {
+  const std::uint64_t digest = g->digest();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_digest_.try_emplace(digest, g);
+  if (inserted) {
+    ++misses_;
+  } else {
+    // Digest hit: the interned binding wins. Equal digests with different
+    // shapes would mean a 64-bit collision; fail loudly rather than hand a
+    // job the wrong topology.
+    DVC_ENSURE(it->second->num_vertices() == g->num_vertices() &&
+                   it->second->num_edges() == g->num_edges(),
+               "graph digest collision between structurally different graphs");
+    ++hits_;
+  }
+  return GraphRef{it->second, digest};
+}
+
+GraphRef GraphStore::find(std::uint64_t digest) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) return {};
+  return GraphRef{it->second, digest};
+}
+
+bool GraphStore::evict(std::uint64_t digest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_digest_.erase(digest) > 0;
+}
+
+std::size_t GraphStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_digest_.size();
+}
+
+std::uint64_t GraphStore::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t GraphStore::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+}  // namespace dvc::service

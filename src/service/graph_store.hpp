@@ -1,0 +1,70 @@
+// Content-addressed graph store for the coloring service.
+//
+// Submitting the same topology twice should not cost two validations, two
+// CSR copies, or two warm session pools. The store interns each submitted
+// Graph under its 64-bit content digest (Graph::digest(), computed once at
+// construction): the first submission of a topology moves the Graph into a
+// shared_ptr entry, every later submission of an equal graph returns the
+// SAME entry, so jobs on the same topology share one binding -- and the
+// session pool, keyed by (digest, shards), can hand any of them a warm
+// sim::Runtime already bound to that object.
+//
+// A GraphRef is the handle jobs carry: a shared_ptr keeping the interned
+// Graph alive past store eviction plus the digest used for pool keying.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+
+namespace dvc::service {
+
+/// Shared handle to an interned graph. Copyable, cheap, and keeps the graph
+/// alive independently of the store: a session pool entry or in-flight job
+/// can outlive an evicted store entry safely.
+struct GraphRef {
+  std::shared_ptr<const Graph> graph;
+  std::uint64_t digest = 0;
+
+  explicit operator bool() const { return graph != nullptr; }
+  const Graph& operator*() const { return *graph; }
+  const Graph* operator->() const { return graph.get(); }
+};
+
+/// Thread-safe digest-keyed interning map.
+class GraphStore {
+ public:
+  /// Interns `g` (moved). If an entry with the same digest exists, the
+  /// submitted copy is dropped and the existing binding is returned -- the
+  /// cheap structural sanity check (n, m) guards against a digest collision
+  /// handing a job the wrong topology.
+  GraphRef intern(Graph g);
+
+  /// Interns an externally owned graph without copying it.
+  GraphRef intern(std::shared_ptr<const Graph> g);
+
+  /// Existing binding for `digest`, or an empty ref.
+  GraphRef find(std::uint64_t digest) const;
+
+  /// Drops the store's reference for `digest` (outstanding GraphRefs stay
+  /// valid). Returns true if an entry was erased.
+  bool evict(std::uint64_t digest);
+
+  std::size_t size() const;
+  /// intern() calls resolved by an existing entry / by inserting a new one.
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+ private:
+  GraphRef intern_shared(std::shared_ptr<const Graph> g);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Graph>> by_digest_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dvc::service

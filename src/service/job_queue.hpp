@@ -1,0 +1,121 @@
+// Bounded MPMC queue for the coloring service's job pipeline.
+//
+// A fixed-capacity ring buffer guarded by one mutex and two condition
+// variables: producers block in push() while the ring is full (backpressure
+// -- the service's submission rate is bounded by its drain rate, so an
+// unbounded burst cannot exhaust memory), consumers block in pop() while it
+// is empty. try_push() is the non-blocking probe the service's try_submit()
+// exposes. close() wakes everybody: subsequent pushes fail, pops keep
+// returning queued items until the ring drains, then fail -- which is
+// exactly the graceful-shutdown order (stop accepting, finish what was
+// accepted, let workers exit).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dvc::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : ring_(capacity) {
+    DVC_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  /// Blocks while the queue is full. Returns false iff the queue was closed
+  /// (the item is not enqueued).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    enqueue_locked(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push. Returns false when the queue is full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || count_ == ring_.size()) return false;
+      enqueue_locked(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueues every item, in order, blocking for space as needed (one lock
+  /// acquisition per free-space wakeup, not per item). Returns the number of
+  /// items enqueued -- fewer than items.size() only if the queue is closed
+  /// mid-batch.
+  std::size_t push_bulk(std::vector<T> items) {
+    std::size_t pushed = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (pushed < items.size()) {
+      not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
+      if (closed_) break;
+      while (pushed < items.size() && count_ < ring_.size()) {
+        enqueue_locked(std::move(items[pushed++]));
+      }
+      not_empty_.notify_all();
+    }
+    return pushed;
+  }
+
+  /// Blocks while the queue is empty and open. Returns false iff the queue
+  /// is closed AND drained; queued items keep flowing after close().
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return false;  // closed and drained
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  void enqueue_locked(T item) {
+    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+    ++count_;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_, not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dvc::service

@@ -1,0 +1,390 @@
+#include "service/service.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dvc::service {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SessionPool
+
+SessionPool::Entry SessionPool::acquire(const GraphRef& graph, int shards) {
+  DVC_REQUIRE(graph, "cannot acquire a session for a null graph");
+  DVC_REQUIRE(shards >= 1, "session shard count must be >= 1");
+  const Key key{graph.digest, shards};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++acquires_;
+    const auto it = idle_.find(key);
+    if (it != idle_.end() && !it->second.empty()) {
+      Entry entry = std::move(it->second.back());
+      it->second.pop_back();
+      ++warm_hits_;
+      entry.warm = true;
+      return entry;
+    }
+    ++cold_builds_;
+  }
+  // Cold build outside the lock: Runtime construction allocates arenas and
+  // (for shards > 1) spawns the session's worker threads.
+  Entry entry;
+  entry.graph = graph;
+  entry.shards = shards;
+  entry.rt = std::make_unique<sim::Runtime>(*graph.graph, shards);
+  entry.warm = false;
+  return entry;
+}
+
+void SessionPool::release(Entry entry) {
+  if (!entry.rt) return;
+  const Key key{entry.graph.digest, entry.shards};
+  Entry reject;  // destroyed outside the lock (joins the session's threads)
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& idle = idle_[key];
+    if (static_cast<int>(idle.size()) >= max_idle_per_key_) {
+      reject = std::move(entry);
+    } else {
+      if (total_idle_ >= static_cast<std::size_t>(max_idle_total_)) {
+        // Global cap: evict an idle session from another key so a stream
+        // of distinct topologies keeps total pool memory bounded while new
+        // keys still warm up. If every idle session is under this entry's
+        // own key, drop the incoming one instead.
+        bool evicted = false;
+        for (auto& [other_key, sessions] : idle_) {
+          if (other_key == key || sessions.empty()) continue;
+          reject = std::move(sessions.back());
+          sessions.pop_back();
+          --total_idle_;
+          ++evictions_;
+          evicted = true;
+          break;
+        }
+        if (!evicted) {
+          ++evictions_;
+          reject = std::move(entry);
+        }
+      }
+      if (entry.rt) {  // not rejected above
+        idle.push_back(std::move(entry));
+        ++total_idle_;
+      }
+    }
+  }
+}
+
+void SessionPool::clear() {
+  std::unordered_map<Key, std::vector<Entry>, KeyHash> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dropped.swap(idle_);
+    total_idle_ = 0;
+  }
+}
+
+SessionPool::Stats SessionPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.idle_sessions = total_idle_;
+  s.acquires = acquires_;
+  s.warm_hits = warm_hits_;
+  s.cold_builds = cold_builds_;
+  s.evictions = evictions_;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// ColoringService
+
+ColoringService::ColoringService(ServiceConfig config)
+    : config_([&] {
+        DVC_REQUIRE(config.workers >= 1, "service needs at least one worker");
+        DVC_REQUIRE(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        DVC_REQUIRE(config.default_shards >= 1,
+                    "default shard count must be >= 1");
+        if (config.max_idle_sessions_per_key <= 0) {
+          config.max_idle_sessions_per_key = config.workers;
+        }
+        if (config.max_idle_sessions_total <= 0) {
+          config.max_idle_sessions_total = 4 * config.workers;
+        }
+        return config;
+      }()),
+      pool_(config_.max_idle_sessions_per_key, config_.max_idle_sessions_total),
+      queue_(config_.queue_capacity),
+      paused_(config_.start_paused) {
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ColoringService::~ColoringService() { shutdown(); }
+
+JobTicket ColoringService::make_job(JobSpec& spec, Job& out) {
+  DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  DVC_REQUIRE(accepting_, "service is shut down");
+  out.id = next_id_++;
+  out.spec = std::move(spec);
+  out.enqueued_at = std::chrono::steady_clock::now();
+  ++submitted_;
+  return JobTicket{out.id};
+}
+
+JobTicket ColoringService::submit(JobSpec spec) {
+  Job job;
+  const JobTicket ticket = make_job(spec, job);
+  if (!queue_.push(std::move(job))) {
+    // Shutdown raced the enqueue: fail the job structurally so the ticket
+    // stays claimable and drain() still converges.
+    JobResult failed;
+    failed.id = ticket.id;
+    failed.error = "service shut down before the job was queued";
+    deliver(std::move(failed));
+  }
+  return ticket;
+}
+
+std::optional<JobTicket> ColoringService::try_submit(JobSpec spec) {
+  DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
+  // The id/submitted_ reservation and the non-blocking enqueue happen under
+  // one state-lock hold: reserving first and rolling back on a full queue
+  // would let a concurrent drain() capture a submitted_ target that no job
+  // will ever complete (and wait forever). Lock order state -> queue is
+  // safe: no path acquires them in the opposite nesting.
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  DVC_REQUIRE(accepting_, "service is shut down");
+  Job job;
+  job.id = next_id_;
+  job.spec = std::move(spec);
+  job.enqueued_at = std::chrono::steady_clock::now();
+  if (!queue_.try_push(std::move(job))) return std::nullopt;
+  const JobTicket ticket{next_id_};
+  ++next_id_;
+  ++submitted_;
+  return ticket;
+}
+
+std::vector<JobTicket> ColoringService::submit_batch(std::vector<JobSpec> specs) {
+  std::vector<JobTicket> tickets;
+  tickets.reserve(specs.size());
+  std::vector<Job> jobs;
+  jobs.reserve(specs.size());
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    DVC_REQUIRE(accepting_, "service is shut down");
+    const auto now = std::chrono::steady_clock::now();
+    for (JobSpec& spec : specs) {
+      DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
+      Job job;
+      job.id = next_id_++;
+      job.spec = std::move(spec);
+      job.enqueued_at = now;
+      tickets.push_back(JobTicket{job.id});
+      jobs.push_back(std::move(job));
+    }
+    submitted_ += jobs.size();
+  }
+  const std::size_t pushed = queue_.push_bulk(std::move(jobs));
+  for (std::size_t i = pushed; i < tickets.size(); ++i) {
+    JobResult failed;
+    failed.id = tickets[i].id;
+    failed.error = "service shut down before the job was queued";
+    deliver(std::move(failed));
+  }
+  return tickets;
+}
+
+bool ColoringService::claimed_locked(std::uint64_t id) const {
+  return id <= claimed_floor_ || claimed_above_floor_.contains(id);
+}
+
+void ColoringService::mark_claimed_locked(std::uint64_t id) {
+  claimed_above_floor_.insert(id);
+  // Compact the overflow set: tickets are mostly claimed in submission
+  // order, so the floor usually swallows the insert immediately.
+  while (claimed_above_floor_.erase(claimed_floor_ + 1) > 0) ++claimed_floor_;
+}
+
+JobResult ColoringService::wait(JobTicket ticket) {
+  DVC_REQUIRE(ticket.id >= 1, "invalid ticket");
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  DVC_REQUIRE(ticket.id < next_id_, "unknown ticket");
+  DVC_REQUIRE(!claimed_locked(ticket.id), "ticket already claimed");
+  // Also wake when a racing claimant wins, so the loser throws instead of
+  // sleeping forever on a result that will never reappear.
+  result_cv_.wait(lock, [&] {
+    return results_.contains(ticket.id) || claimed_locked(ticket.id);
+  });
+  DVC_REQUIRE(!claimed_locked(ticket.id), "ticket already claimed");
+  auto node = results_.extract(ticket.id);
+  mark_claimed_locked(ticket.id);
+  lock.unlock();
+  result_cv_.notify_all();
+  return std::move(node.mapped());
+}
+
+std::optional<JobResult> ColoringService::poll(JobTicket ticket) {
+  DVC_REQUIRE(ticket.id >= 1, "invalid ticket");
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  DVC_REQUIRE(ticket.id < next_id_, "unknown ticket");
+  DVC_REQUIRE(!claimed_locked(ticket.id), "ticket already claimed");
+  auto node = results_.extract(ticket.id);
+  if (node.empty()) return std::nullopt;
+  mark_claimed_locked(ticket.id);
+  lock.unlock();
+  result_cv_.notify_all();
+  return std::move(node.mapped());
+}
+
+void ColoringService::drain() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  const std::uint64_t target = submitted_;
+  idle_cv_.wait(lock, [&] { return completed_ >= target; });
+}
+
+void ColoringService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    accepting_ = false;
+    paused_ = false;  // gated workers must wake to drain the queue
+  }
+  pause_cv_.notify_all();
+  queue_.close();
+  bool expected = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    expected = joined_;
+    joined_ = true;
+  }
+  if (!expected) {
+    for (std::thread& t : workers_) t.join();
+  }
+}
+
+void ColoringService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+std::uint64_t ColoringService::submitted() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return submitted_;
+}
+
+std::uint64_t ColoringService::completed() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return completed_;
+}
+
+void ColoringService::worker_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mutex_);
+      pause_cv_.wait(lock, [&] { return !paused_; });
+    }
+    Job job;
+    if (!queue_.pop(job)) return;  // closed and drained
+    deliver(execute(std::move(job)));
+  }
+}
+
+JobResult ColoringService::execute(Job job) {
+  const JobSpec& spec = job.spec;
+  JobResult res;
+  res.id = job.id;
+  res.preset = spec.preset;
+  res.graph_digest = spec.graph.digest;
+  const int shards =
+      spec.knobs.shards > 0 ? spec.knobs.shards : config_.default_shards;
+  res.shards = shards;
+  const auto started = std::chrono::steady_clock::now();
+  res.queue_ms = ms_between(job.enqueued_at, started);
+  try {
+    SessionPool::Entry entry = pool_.acquire(spec.graph, shards);
+    res.warm_session = entry.warm;
+    // Warm reuse contract: forget the previous job's phases, keep every
+    // arena. The run below is bit-identical to one on a fresh session (the
+    // runtime suite proves shared-vs-fresh identity), which is what makes
+    // pool reuse invisible to callers.
+    entry.rt->reset_log();
+    try {
+      res.result = color_graph(*entry.rt, spec.arboricity_bound, spec.preset,
+                               spec.knobs);
+      res.ok = true;
+    } catch (...) {
+      // A throwing job fails only itself. The session is still structurally
+      // sound (the runtime clears shard exception state when it rethrows),
+      // so it goes back to the pool -- a poisoned job must never shrink
+      // serving capacity.
+      pool_.release(std::move(entry));
+      throw;
+    }
+    pool_.release(std::move(entry));
+  } catch (const std::exception& e) {
+    res.ok = false;
+    res.error = e.what();
+  } catch (...) {
+    res.ok = false;
+    res.error = "unknown exception";
+  }
+  res.run_ms = ms_between(started, std::chrono::steady_clock::now());
+  return res;
+}
+
+void ColoringService::deliver(JobResult result) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    results_.emplace(result.id, std::move(result));
+    ++completed_;
+  }
+  result_cv_.notify_all();
+  idle_cv_.notify_all();
+}
+
+}  // namespace dvc::service
+
+// ---------------------------------------------------------------------------
+// Service-aware facade (declared in core/api.hpp): one-call submit + wait
+// through a shared service, so callers holding a ColoringService get the
+// familiar color_graph shape with interning and warm sessions for free.
+
+namespace dvc {
+
+LegalColoringResult color_graph(service::ColoringService& svc, const Graph& g,
+                                int arboricity_bound, Preset preset,
+                                const Knobs& knobs) {
+  // Reuse the interned binding when this topology was seen before; only a
+  // first-time submission pays the copy into the store. The structural
+  // sanity check mirrors GraphStore::intern's collision guard: never hand a
+  // job a different topology that happens to share the 64-bit digest.
+  service::GraphRef ref = svc.store().find(g.digest());
+  DVC_ENSURE(!ref || (ref->num_vertices() == g.num_vertices() &&
+                      ref->num_edges() == g.num_edges()),
+             "graph digest collision between structurally different graphs");
+  if (!ref) ref = svc.intern(Graph(g));
+  service::JobSpec spec;
+  spec.graph = std::move(ref);
+  spec.arboricity_bound = arboricity_bound;
+  spec.preset = preset;
+  spec.knobs = knobs;
+  service::JobResult res = svc.wait(svc.submit(std::move(spec)));
+  if (!res.ok) throw invariant_error("service job failed: " + res.error);
+  return std::move(res.result);
+}
+
+}  // namespace dvc

@@ -1,0 +1,270 @@
+// ColoringService: a thread-safe, multi-session front end over the
+// single-run engine -- the repo's first subsystem aimed at throughput
+// (many graphs, many presets, concurrently) rather than the cost of one
+// run.
+//
+// Architecture (see DESIGN.md, "Coloring service"):
+//
+//   submit()/submit_batch()  ->  BoundedQueue<Job>  ->  worker threads
+//                                                        |  acquire warm
+//                                                        v  session
+//                                                   SessionPool
+//                                                        |
+//                                                   color_graph(rt, ...)
+//                                                        |
+//                                                   deliver JobResult
+//
+//   * GraphStore interns submitted topologies under Graph::digest(), so
+//     repeated submissions share one Graph binding (see graph_store.hpp).
+//   * SessionPool caches warm sim::Runtime sessions keyed by
+//     (graph digest, shard count). A steady-state job therefore reuses a
+//     session whose arenas are already sized for its graph: it spawns no
+//     threads and allocates nothing runtime-side (PR 2's persistent-session
+//     guarantee, now amortized across CALLERS, not just across the phases
+//     of one pipeline).
+//   * The job queue is a bounded MPMC ring: submit() blocks when full
+//     (backpressure), try_submit() probes, submit_batch() enqueues a batch
+//     in bulk. Handles are futures-free: submit returns a JobTicket, the
+//     result is claimed exactly once with wait()/poll().
+//   * A throwing job (bad arboricity bound, CONGEST violation, round-cap
+//     breach) fails ONLY its own JobResult -- the error is captured
+//     structurally, the session stays reusable (the runtime clears shard
+//     exception state on rethrow), and the pool keeps serving.
+//
+// Determinism under concurrency -- the contract the test suite enforces:
+// a job's colors, RunStats and PhaseLog are bit-identical whether the job
+// runs solo on a fresh session or under heavy multi-worker load on a warm
+// pooled session. This holds by construction: a job's entire simulation
+// runs on one exclusively-held Runtime whose shard count is fixed by the
+// job spec (never by pool load), sessions reset their PhaseLog between
+// jobs, and session reuse is bit-identical to fresh construction.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/api.hpp"
+#include "service/graph_store.hpp"
+#include "service/job_queue.hpp"
+#include "sim/runtime.hpp"
+
+namespace dvc::service {
+
+struct ServiceConfig {
+  /// Worker threads draining the job queue. Also the default cap on warm
+  /// sessions retained per (graph, shards) key.
+  int workers = 4;
+  /// Capacity of the bounded job queue; submit() blocks when full.
+  std::size_t queue_capacity = 256;
+  /// Shard count for sessions of jobs whose Knobs::shards == 0. Kept at 1
+  /// by default: service-level parallelism comes from the worker pool, so
+  /// single-sharded sessions (zero extra threads each) are the right
+  /// steady-state shape.
+  int default_shards = 1;
+  /// Warm sessions retained per (digest, shards) key when released; excess
+  /// sessions are destroyed. 0 = use `workers`.
+  int max_idle_sessions_per_key = 0;
+  /// Global cap on idle sessions across ALL keys, so a stream of distinct
+  /// topologies cannot grow the pool without bound: at the cap, parking a
+  /// session evicts an idle one from another key (keeping fresh keys warm).
+  /// 0 = use 4 * workers.
+  int max_idle_sessions_total = 0;
+  /// Start with the workers gated: jobs queue up (and exert backpressure)
+  /// until resume() is called. Used by drain/backpressure tests and by
+  /// callers that want to pre-fill a batch before execution starts.
+  bool start_paused = false;
+};
+
+/// One unit of work: color `graph` with `preset` under `knobs`.
+/// knobs.shards selects the session shard count (0 = ServiceConfig
+/// default); knobs.congest_words / knobs.scheduler apply per job, scoped to
+/// the job's session for exactly the duration of the run.
+struct JobSpec {
+  GraphRef graph;
+  int arboricity_bound = 1;
+  Preset preset = Preset::NearLinearColors;
+  Knobs knobs;
+};
+
+/// Futures-free job handle. Tickets are claimed exactly once: wait()/poll()
+/// transfer the JobResult out of the service.
+struct JobTicket {
+  std::uint64_t id = 0;
+  explicit operator bool() const { return id != 0; }
+};
+
+struct JobResult {
+  std::uint64_t id = 0;
+  /// False iff the job threw; `error` then carries the structured message
+  /// (precondition_error / invariant_error / bandwidth_error text).
+  bool ok = false;
+  std::string error;
+  /// Coloring + per-phase PhaseLog + total RunStats (rounds, messages,
+  /// bandwidth words, work items). Valid only when ok.
+  LegalColoringResult result;
+  std::uint64_t graph_digest = 0;
+  Preset preset = Preset::NearLinearColors;
+  /// Shard count the job's session ran with.
+  int shards = 1;
+  /// True if the job's session came warm from the pool (false: cold build).
+  bool warm_session = false;
+  /// Wall-clock: time spent queued and time spent executing. Reporting
+  /// only -- never part of the determinism surface.
+  double queue_ms = 0.0;
+  double run_ms = 0.0;
+};
+
+/// Warm-session cache keyed by (graph digest, shard count). acquire() hands
+/// out exclusive ownership of a session (building one cold if none is
+/// idle); release() returns it, retaining up to a per-key cap.
+class SessionPool {
+ public:
+  struct Entry {
+    GraphRef graph;  // keeps the interned graph alive for rt's lifetime
+    int shards = 1;
+    std::unique_ptr<sim::Runtime> rt;
+    bool warm = false;  // true iff this acquire was served from the cache
+  };
+
+  SessionPool(int max_idle_per_key, int max_idle_total)
+      : max_idle_per_key_(max_idle_per_key), max_idle_total_(max_idle_total) {}
+
+  Entry acquire(const GraphRef& graph, int shards);
+  void release(Entry entry);
+  /// Destroys all idle sessions (in-flight entries are unaffected).
+  void clear();
+
+  struct Stats {
+    std::size_t idle_sessions = 0;
+    std::uint64_t acquires = 0;
+    std::uint64_t warm_hits = 0;
+    std::uint64_t cold_builds = 0;
+    /// Idle sessions destroyed to honor the global cap.
+    std::uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Key {
+    std::uint64_t digest;
+    int shards;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return static_cast<std::size_t>(
+          detail::digest_mix(k.digest, static_cast<std::uint64_t>(k.shards)));
+    }
+  };
+
+  int max_idle_per_key_;
+  int max_idle_total_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::vector<Entry>, KeyHash> idle_;
+  std::size_t total_idle_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t warm_hits_ = 0;
+  std::uint64_t cold_builds_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+class ColoringService {
+ public:
+  explicit ColoringService(ServiceConfig config = {});
+  /// Graceful: equivalent to shutdown() -- accepted jobs finish first.
+  ~ColoringService();
+  ColoringService(const ColoringService&) = delete;
+  ColoringService& operator=(const ColoringService&) = delete;
+
+  /// Interns the graph in the service's store and wraps it for submission.
+  GraphRef intern(Graph g) { return store_.intern(std::move(g)); }
+  GraphRef intern(std::shared_ptr<const Graph> g) {
+    return store_.intern(std::move(g));
+  }
+
+  /// Enqueues the job, blocking while the queue is full (backpressure).
+  /// Throws precondition_error after shutdown.
+  JobTicket submit(JobSpec spec);
+  /// Non-blocking probe: nullopt when the queue is full (or shut down).
+  std::optional<JobTicket> try_submit(JobSpec spec);
+  /// Enqueues the whole batch in order with bulk queue insertion; blocks
+  /// for space as needed. Tickets are returned in spec order.
+  std::vector<JobTicket> submit_batch(std::vector<JobSpec> specs);
+
+  /// Blocks until the job completes and transfers its result out. Each
+  /// ticket is claimed exactly once; claiming it again throws
+  /// precondition_error (it never deadlocks).
+  JobResult wait(JobTicket ticket);
+  /// Non-blocking: transfers the result out iff the job has completed.
+  /// nullopt means "not ready yet"; an already-claimed ticket throws.
+  std::optional<JobResult> poll(JobTicket ticket);
+
+  /// Blocks until every job submitted so far has completed (results may
+  /// still be unclaimed). New submissions stay open.
+  void drain();
+  /// Stops accepting new jobs, runs everything already accepted to
+  /// completion, and joins the workers. Idempotent.
+  void shutdown();
+  /// Opens the worker gate when the service was built start_paused (no-op
+  /// otherwise, or when called twice).
+  void resume();
+
+  // --- Introspection -------------------------------------------------------
+  const ServiceConfig& config() const { return config_; }
+  GraphStore& store() { return store_; }
+  const GraphStore& store() const { return store_; }
+  SessionPool::Stats pool_stats() const { return pool_.stats(); }
+  std::size_t queued() const { return queue_.size(); }
+  std::uint64_t submitted() const;
+  std::uint64_t completed() const;
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void worker_loop();
+  JobResult execute(Job job);
+  void deliver(JobResult result);
+  JobTicket make_job(JobSpec& spec, Job& out);
+  bool claimed_locked(std::uint64_t id) const;
+  void mark_claimed_locked(std::uint64_t id);
+
+  ServiceConfig config_;
+  GraphStore store_;
+  SessionPool pool_;
+  BoundedQueue<Job> queue_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable result_cv_;
+  std::condition_variable idle_cv_;
+  std::condition_variable pause_cv_;
+  std::unordered_map<std::uint64_t, JobResult> results_;
+  /// Claim tracking, so a double wait()/poll() fails fast instead of
+  /// deadlocking. Compact: every id <= claimed_floor_ is claimed; only
+  /// out-of-order claims sit in the overflow set (tickets are typically
+  /// claimed roughly in submission order, so the set stays tiny).
+  std::uint64_t claimed_floor_ = 0;
+  std::unordered_set<std::uint64_t> claimed_above_floor_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  bool paused_ = false;
+  bool accepting_ = true;
+  bool joined_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dvc::service

@@ -130,5 +130,64 @@ TEST(Subgraph, ColorClassSubgraphsPartitionVertices) {
   EXPECT_EQ(classes[1].graph.num_edges(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Graph::digest(): the content hash the service layer interns topologies by.
+
+TEST(GraphDigest, EqualGraphsCollideRegardlessOfEdgeInputOrder) {
+  const EdgeList edges = {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1, 3}};
+  EdgeList shuffled = {{1, 3}, {2, 3}, {0, 1}, {0, 3}, {1, 2}};
+  EdgeList reversed_endpoints = {{1, 0}, {2, 1}, {3, 2}, {3, 0}, {3, 1}};
+  const Graph a = Graph::from_edges(4, edges);
+  const Graph b = Graph::from_edges(4, shuffled);
+  const Graph c = Graph::from_edges(4, reversed_endpoints);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.digest(), c.digest());
+  // Duplicate edges and self loops are normalized away before hashing.
+  const Graph d = Graph::from_edges(4, {{0, 1}, {1, 0}, {0, 0}, {1, 2}, {2, 3},
+                                        {0, 3}, {1, 3}, {1, 3}});
+  EXPECT_EQ(a.digest(), d.digest());
+}
+
+TEST(GraphDigest, PermutedLabelsDoNotCollide) {
+  // A star centered at 0 vs the same star centered at 1: isomorphic, but
+  // the digest is a labeled-topology hash, so they must differ.
+  const Graph star0 = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  const Graph star1 = Graph::from_edges(4, {{1, 0}, {1, 2}, {1, 3}});
+  EXPECT_NE(star0.digest(), star1.digest());
+  // Path 0-1-2 vs path 0-2-1: same degree sequence, different adjacency.
+  const Graph p012 = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  const Graph p021 = Graph::from_edges(3, {{0, 2}, {2, 1}});
+  EXPECT_NE(p012.digest(), p021.digest());
+}
+
+TEST(GraphDigest, StructuralChangesChangeTheDigest) {
+  const Graph path = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph cycle = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_NE(path.digest(), cycle.digest());
+  // Same edges, extra isolated vertex: different graph, different digest.
+  const Graph padded = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_NE(path.digest(), padded.digest());
+}
+
+TEST(GraphDigest, EmptyAndSingletonEdgeCases) {
+  const Graph default_constructed;
+  const Graph empty = Graph::from_edges(0, {});
+  EXPECT_EQ(default_constructed.digest(), empty.digest())
+      << "a default Graph must digest like the empty graph";
+  const Graph one = Graph::from_edges(1, {});
+  const Graph two = Graph::from_edges(2, {});
+  EXPECT_NE(empty.digest(), one.digest());
+  EXPECT_NE(one.digest(), two.digest());
+  const Graph single_edge = Graph::from_edges(2, {{0, 1}});
+  EXPECT_NE(two.digest(), single_edge.digest());
+}
+
+TEST(GraphDigest, StableAcrossCopies) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  const Graph copy = g;
+  EXPECT_EQ(g.digest(), copy.digest());
+  EXPECT_EQ(g.digest(), g.digest()) << "digest is a pure cached value";
+}
+
 }  // namespace
 }  // namespace dvc

@@ -1,0 +1,499 @@
+// Service-layer suite: the contract that matters here is DETERMINISM UNDER
+// CONCURRENCY -- a job's colors, RunStats and PhaseLog must be bit-identical
+// whether the job runs solo on a fresh session or under multi-worker load on
+// a warm pooled session, at every shard count. Plus the operational
+// surface: graph interning, bounded-queue backpressure, drain-under-load,
+// graceful shutdown, and poisoned-job isolation (a throwing job fails only
+// itself; the session it ran on goes back to the pool and keeps serving
+// bit-identical results).
+//
+// This file is the `service` ctest label and runs under ThreadSanitizer in
+// CI (see .github/workflows/ci.yml).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/api.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "service/graph_store.hpp"
+#include "service/job_queue.hpp"
+#include "service/service.hpp"
+
+namespace dvc::service {
+namespace {
+
+const std::vector<Preset>& all_presets() {
+  static const std::vector<Preset> presets = {
+      Preset::LinearColors,     Preset::NearLinearColors,
+      Preset::PolylogTime,      Preset::FastSubquadratic,
+      Preset::TradeoffAT,       Preset::DeltaPlusOneLowArb};
+  return presets;
+}
+
+struct Mixed {
+  const char* name;
+  Graph g;
+  int arboricity_bound;
+};
+
+const std::vector<Mixed>& mixed_graphs() {
+  static const std::vector<Mixed> graphs = [] {
+    std::vector<Mixed> out;
+    out.push_back({"planted", planted_arboricity(600, 4, 1), 4});
+    out.push_back({"ba", barabasi_albert(500, 3, 2), 3});
+    out.push_back({"near_regular", random_near_regular(320, 8, 3), 8});
+    return out;
+  }();
+  return graphs;
+}
+
+/// The full solo-run expectation matrix: graphs x presets x shard counts,
+/// each computed on a fresh single-purpose session via the direct API.
+struct Expected {
+  std::size_t graph_idx;
+  Preset preset;
+  int shards;
+  LegalColoringResult solo;
+};
+
+std::vector<Expected> solo_matrix(const std::vector<int>& shard_counts) {
+  std::vector<Expected> expected;
+  for (std::size_t gi = 0; gi < mixed_graphs().size(); ++gi) {
+    const Mixed& m = mixed_graphs()[gi];
+    for (const Preset preset : all_presets()) {
+      for (const int shards : shard_counts) {
+        Knobs knobs;
+        knobs.shards = shards;
+        Expected e{gi, preset, shards,
+                   color_graph(m.g, m.arboricity_bound, preset, knobs)};
+        expected.push_back(std::move(e));
+      }
+    }
+  }
+  return expected;
+}
+
+void expect_same_result(const LegalColoringResult& solo, const JobResult& job,
+                        const std::string& what) {
+  ASSERT_TRUE(job.ok) << what << ": " << job.error;
+  EXPECT_EQ(solo.colors, job.result.colors) << what;
+  EXPECT_EQ(solo.distinct, job.result.distinct) << what;
+  EXPECT_TRUE(solo.total == job.result.total) << what;
+  EXPECT_TRUE(solo.phases == job.result.phases) << what;
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(BoundedQueue, FifoAndBackpressure) {
+  BoundedQueue<int> q(3);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4)) << "queue at capacity must refuse";
+  EXPECT_EQ(q.size(), 3u);
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_push(4));
+  for (const int want : {2, 3, 4}) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, want);
+  }
+}
+
+TEST(BoundedQueue, CloseDrainsThenFails) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(7));
+  EXPECT_TRUE(q.push(8));
+  q.close();
+  EXPECT_FALSE(q.push(9)) << "closed queue must refuse new items";
+  EXPECT_FALSE(q.try_push(9));
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(q.pop(out)) << "queued items keep flowing after close";
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(q.pop(out)) << "closed and drained";
+}
+
+TEST(BoundedQueue, PushBulkKeepsOrderAcrossWraparound) {
+  BoundedQueue<int> q(4);
+  // Consumer thread drains slowly; bulk push must block for space and keep
+  // order while the ring wraps several times.
+  std::vector<int> items;
+  for (int i = 0; i < 32; ++i) items.push_back(i);
+  std::vector<int> got;
+  std::thread consumer([&] {
+    int out = 0;
+    while (q.pop(out)) got.push_back(out);
+  });
+  EXPECT_EQ(q.push_bulk(std::move(items)), 32u);
+  q.close();
+  consumer.join();
+  ASSERT_EQ(got.size(), 32u);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueue, MpmcStress) {
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 250;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      int out = 0;
+      while (q.pop(out)) {
+        sum.fetch_add(out);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[static_cast<std::size_t>(p)].join();
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  const long long total = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), total);
+  EXPECT_EQ(sum.load(), total * (total - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// GraphStore / Graph::digest interning
+
+TEST(GraphStore, InternSharesOneBindingPerTopology) {
+  GraphStore store;
+  const Graph g1 = planted_arboricity(300, 4, 7);
+  const Graph g2 = planted_arboricity(300, 4, 7);  // same topology, new object
+  const GraphRef a = store.intern(g1);
+  const GraphRef b = store.intern(g2);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.graph.get(), b.graph.get()) << "same binding, not a copy";
+  EXPECT_EQ(store.misses(), 1u);
+  EXPECT_EQ(store.hits(), 1u);
+
+  const GraphRef c = store.intern(planted_arboricity(300, 4, 8));  // new seed
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_NE(c.digest, a.digest);
+}
+
+TEST(GraphStore, FindAndEvictLeaveRefsValid) {
+  GraphStore store;
+  const GraphRef a = store.intern(cycle_graph(64));
+  EXPECT_TRUE(store.find(a.digest));
+  EXPECT_TRUE(store.evict(a.digest));
+  EXPECT_FALSE(store.find(a.digest));
+  EXPECT_FALSE(store.evict(a.digest));
+  // The outstanding ref still owns the graph.
+  EXPECT_EQ(a->num_vertices(), 64);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent determinism -- the tentpole contract
+
+TEST(ServiceDeterminism, ConcurrentLoadMatchesSoloRunsAtEveryShardCount) {
+  const std::vector<int> shard_counts = {1, 2, 8};
+  const std::vector<Expected> expected = solo_matrix(shard_counts);
+
+  ServiceConfig config;
+  config.workers = 8;
+  config.queue_capacity = 64;
+  config.max_idle_sessions_per_key = 2;
+  ColoringService svc(config);
+
+  std::vector<GraphRef> refs;
+  for (const Mixed& m : mixed_graphs()) refs.push_back(svc.intern(m.g));
+
+  // 4 submitter threads x the full matrix, against 8 workers: >= 8-way
+  // execution concurrency plus submission concurrency, every preset and
+  // shard count in flight at once.
+  constexpr int kSubmitters = 4;
+  std::vector<std::vector<JobTicket>> tickets(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (const Expected& e : expected) {
+        JobSpec spec;
+        spec.graph = refs[e.graph_idx];
+        spec.arboricity_bound = mixed_graphs()[e.graph_idx].arboricity_bound;
+        spec.preset = e.preset;
+        spec.knobs.shards = e.shards;
+        tickets[static_cast<std::size_t>(s)].push_back(svc.submit(spec));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  svc.drain();
+
+  for (int s = 0; s < kSubmitters; ++s) {
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      const Expected& e = expected[i];
+      const JobResult res = svc.wait(tickets[static_cast<std::size_t>(s)][i]);
+      expect_same_result(
+          e.solo, res,
+          std::string(mixed_graphs()[e.graph_idx].name) + "/" +
+              preset_name(e.preset) + "/shards=" + std::to_string(e.shards) +
+              "/submitter=" + std::to_string(s));
+      EXPECT_EQ(res.shards, e.shards);
+      EXPECT_EQ(res.graph_digest, refs[e.graph_idx].digest);
+    }
+  }
+  // Sanity on the serving machinery itself: warm reuse actually happened.
+  const SessionPool::Stats pool = svc.pool_stats();
+  EXPECT_GT(pool.warm_hits, 0u);
+  EXPECT_EQ(pool.acquires, pool.warm_hits + pool.cold_builds);
+}
+
+TEST(ServiceDeterminism, FacadeMatchesDirectApi) {
+  ColoringService svc(ServiceConfig{.workers = 2});
+  const Graph g = planted_arboricity(500, 4, 11);
+  for (const Preset preset : {Preset::NearLinearColors, Preset::PolylogTime}) {
+    const LegalColoringResult via = color_graph(svc, g, 4, preset);
+    const LegalColoringResult direct = color_graph(g, 4, preset);
+    EXPECT_EQ(via.colors, direct.colors) << preset_name(preset);
+    EXPECT_TRUE(via.total == direct.total) << preset_name(preset);
+    EXPECT_TRUE(via.phases == direct.phases) << preset_name(preset);
+  }
+  // The facade interned the topology once; the repeat call hit the store.
+  EXPECT_EQ(svc.store().size(), 1u);
+  EXPECT_GE(svc.store().hits() + svc.store().misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Operational surface
+
+TEST(Service, QueueFullBackpressure) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.start_paused = true;  // workers gated: nothing drains
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(planted_arboricity(200, 3, 5));
+
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = 3;
+  spec.preset = Preset::NearLinearColors;
+
+  std::vector<JobTicket> accepted;
+  // The gated queue accepts exactly `queue_capacity` jobs, then refuses.
+  std::optional<JobTicket> t;
+  while ((t = svc.try_submit(spec)).has_value()) {
+    accepted.push_back(*t);
+    ASSERT_LE(accepted.size(), config.queue_capacity) << "backpressure missing";
+  }
+  EXPECT_EQ(accepted.size(), config.queue_capacity);
+  EXPECT_EQ(svc.queued(), config.queue_capacity);
+  EXPECT_FALSE(svc.try_submit(spec).has_value());
+
+  // poll() on a queued-but-unstarted job: not ready, and non-consuming.
+  EXPECT_FALSE(svc.poll(accepted[0]).has_value());
+
+  svc.resume();
+  svc.drain();
+  for (const JobTicket ticket : accepted) {
+    const JobResult res = svc.wait(ticket);
+    EXPECT_TRUE(res.ok) << res.error;
+  }
+  // With the gate open and the queue drained, submission works again.
+  EXPECT_TRUE(svc.try_submit(spec).has_value());
+  svc.drain();
+}
+
+TEST(Service, DrainUnderLoad) {
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_capacity = 16;  // smaller than the burst: submit must block
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(barabasi_albert(400, 3, 6));
+
+  constexpr int kJobs = 48;
+  std::vector<JobSpec> burst;
+  for (int i = 0; i < kJobs; ++i) {
+    JobSpec spec;
+    spec.graph = g;
+    spec.arboricity_bound = 3;
+    spec.preset = all_presets()[static_cast<std::size_t>(i) %
+                                all_presets().size()];
+    burst.push_back(std::move(spec));
+  }
+  const std::vector<JobTicket> tickets = svc.submit_batch(std::move(burst));
+  ASSERT_EQ(tickets.size(), static_cast<std::size_t>(kJobs));
+  svc.drain();
+  EXPECT_EQ(svc.completed(), static_cast<std::uint64_t>(kJobs));
+  // After drain, every result is immediately available via poll.
+  for (const JobTicket t : tickets) {
+    const auto res = svc.poll(t);
+    ASSERT_TRUE(res.has_value());
+    EXPECT_TRUE(res->ok) << res->error;
+  }
+}
+
+TEST(Service, PoisonedJobFailsAloneAndSessionStaysServing) {
+  const Mixed& m = mixed_graphs()[2];  // near-regular d=8, true arboricity > 1
+  Knobs solo_knobs;
+  solo_knobs.shards = 1;
+  const LegalColoringResult solo =
+      color_graph(m.g, m.arboricity_bound, Preset::NearLinearColors, solo_knobs);
+
+  ServiceConfig config;
+  config.workers = 1;  // serialize: poison and repair share ONE session
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(m.g);
+
+  JobSpec good;
+  good.graph = g;
+  good.arboricity_bound = m.arboricity_bound;
+  good.preset = Preset::NearLinearColors;
+
+  // Round 1: a clean job warms the session.
+  const JobResult first = svc.wait(svc.submit(good));
+  expect_same_result(solo, first, "pre-poison");
+
+  // Round 2: an arboricity bound below the truth throws mid-pipeline.
+  JobSpec poison = good;
+  poison.arboricity_bound = 1;
+  const JobResult failed = svc.wait(svc.submit(poison));
+  EXPECT_FALSE(failed.ok);
+  EXPECT_FALSE(failed.error.empty());
+  EXPECT_NE(failed.error.find("h-partition"), std::string::npos)
+      << "error should carry the structured invariant text, got: "
+      << failed.error;
+
+  // Round 3: a precondition failure (bound 0) is also captured per-job.
+  JobSpec invalid = good;
+  invalid.arboricity_bound = 0;
+  const JobResult rejected = svc.wait(svc.submit(invalid));
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_FALSE(rejected.error.empty());
+
+  // Round 4: the SAME warm session serves the clean job bit-identically --
+  // the failures poisoned neither the pool nor the session state.
+  const JobResult after = svc.wait(svc.submit(good));
+  EXPECT_TRUE(after.warm_session)
+      << "expected the post-poison job to reuse the pooled session";
+  expect_same_result(solo, after, "post-poison");
+}
+
+TEST(Service, BatchTicketsComeBackInOrder) {
+  ServiceConfig config;
+  config.workers = 2;
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(planted_arboricity(300, 4, 13));
+  std::vector<JobSpec> specs;
+  std::vector<Preset> want;
+  for (int i = 0; i < 12; ++i) {
+    JobSpec spec;
+    spec.graph = g;
+    spec.arboricity_bound = 4;
+    spec.preset = all_presets()[static_cast<std::size_t>(i) %
+                                all_presets().size()];
+    want.push_back(spec.preset);
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<JobTicket> tickets = svc.submit_batch(std::move(specs));
+  ASSERT_EQ(tickets.size(), want.size());
+  for (std::size_t i = 0; i + 1 < tickets.size(); ++i) {
+    EXPECT_LT(tickets[i].id, tickets[i + 1].id) << "tickets must be ordered";
+  }
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const JobResult res = svc.wait(tickets[i]);
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.preset, want[i]) << "result " << i << " out of order";
+  }
+}
+
+TEST(Service, ShutdownIsGracefulAndIdempotent) {
+  ServiceConfig config;
+  config.workers = 2;
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(planted_arboricity(400, 4, 17));
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    JobSpec spec;
+    spec.graph = g;
+    spec.arboricity_bound = 4;
+    spec.preset = Preset::LinearColors;
+    tickets.push_back(svc.submit(spec));
+  }
+  svc.shutdown();
+  svc.shutdown();  // idempotent
+  // Every accepted job ran to completion before the workers exited.
+  for (const JobTicket t : tickets) {
+    const auto res = svc.poll(t);
+    ASSERT_TRUE(res.has_value()) << "graceful shutdown must finish the queue";
+    EXPECT_TRUE(res->ok) << res->error;
+  }
+  JobSpec late;
+  late.graph = g;
+  late.arboricity_bound = 4;
+  EXPECT_THROW(svc.submit(late), precondition_error);
+  EXPECT_THROW(svc.try_submit(late), precondition_error);
+  EXPECT_THROW(svc.submit_batch({late}), precondition_error);
+}
+
+TEST(Service, TicketValidation) {
+  ColoringService svc(ServiceConfig{.workers = 1});
+  EXPECT_THROW(svc.wait(JobTicket{}), precondition_error);
+  EXPECT_THROW(svc.wait(JobTicket{999}), precondition_error);
+  EXPECT_THROW(svc.poll(JobTicket{999}), precondition_error);
+}
+
+TEST(Service, DoubleClaimThrowsInsteadOfDeadlocking) {
+  ColoringService svc(ServiceConfig{.workers = 1});
+  const GraphRef g = svc.intern(planted_arboricity(200, 3, 19));
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = 3;
+  const JobTicket a = svc.submit(spec);
+  const JobTicket b = svc.submit(spec);
+  EXPECT_TRUE(svc.wait(a).ok);
+  EXPECT_THROW(svc.wait(a), precondition_error) << "wait after wait";
+  EXPECT_THROW(svc.poll(a), precondition_error) << "poll after wait";
+  svc.drain();
+  ASSERT_TRUE(svc.poll(b).has_value());
+  EXPECT_THROW(svc.wait(b), precondition_error) << "wait after poll";
+}
+
+TEST(Service, GlobalIdleSessionCapBoundsThePool) {
+  ServiceConfig config;
+  config.workers = 2;
+  config.max_idle_sessions_per_key = 2;
+  config.max_idle_sessions_total = 2;  // tighter than keys x per-key
+  ColoringService svc(config);
+  // Distinct topologies x shard counts: far more session keys than the cap.
+  std::vector<JobTicket> tickets;
+  for (int k = 0; k < 4; ++k) {
+    const GraphRef g =
+        svc.intern(planted_arboricity(200 + 10 * k, 3, 23 + k));
+    for (const int shards : {1, 2}) {
+      JobSpec spec;
+      spec.graph = g;
+      spec.arboricity_bound = 3;
+      spec.knobs.shards = shards;
+      tickets.push_back(svc.submit(spec));
+    }
+  }
+  svc.drain();
+  for (const JobTicket t : tickets) EXPECT_TRUE(svc.wait(t).ok);
+  const SessionPool::Stats pool = svc.pool_stats();
+  EXPECT_LE(pool.idle_sessions,
+            static_cast<std::size_t>(config.max_idle_sessions_total));
+  EXPECT_GT(pool.evictions, 0u) << "8 keys through a 2-session pool must evict";
+}
+
+}  // namespace
+}  // namespace dvc::service
