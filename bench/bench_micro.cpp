@@ -79,8 +79,12 @@ struct LegacyPacketEngine {
       std::vector<std::int64_t> payload{1};  // per-message heap allocation
       const std::int64_t peer_slot = g->mirror_slot(g->slot(v, p));
       Packet pkt;
-      pkt.receiver = g->slot_owner(peer_slot);
-      pkt.port = g->slot_port(peer_slot);
+      // The old engine had an O(1) owner table; the compact CSR derives
+      // owners by binary search instead. Resolve receiver/port the O(1) way
+      // (adjacency + slot base) so the replica keeps modelling the OLD
+      // engine's per-message cost, not the new owner-lookup path.
+      pkt.receiver = g->neighbor(v, p);
+      pkt.port = static_cast<int>(peer_slot - g->slot(pkt.receiver, 0));
       pkt.data = std::move(payload);
       stats.messages += 1;
       stats.words += pkt.data.size();
@@ -528,6 +532,42 @@ bool bench_scheduler(benchio::JsonSink& sink, bool smoke) {
   return ok;
 }
 
+// Per-array CSR footprint (satellite of the giant-graph work): reports the
+// compact layout's bytes/vertex next to a forced-wide build of the same
+// graph, so the 32-bit offset/mirror saving and the owner-table elimination
+// are tracked as first-class bench numbers.
+void bench_graph_memory(benchio::JsonSink& sink) {
+  std::cout << "\n== graph memory: compact vs wide CSR ==\n";
+  struct Config { const char* family; Graph g; };
+  for (const Config& cfg :
+       {Config{"near_regular", random_near_regular(1 << 15, 16, 3)},
+        Config{"barabasi_albert", barabasi_albert(1 << 15, 8, 3)}}) {
+    const Graph wide = Graph::from_edges(cfg.g.num_vertices(), cfg.g.edges(),
+                                         Graph::Layout::kWide);
+    const auto mb = cfg.g.memory_breakdown();
+    const double bpv = static_cast<double>(cfg.g.memory_bytes()) /
+                       static_cast<double>(cfg.g.num_vertices());
+    const double wide_bpv = static_cast<double>(wide.memory_bytes()) /
+                            static_cast<double>(wide.num_vertices());
+    std::cout << cfg.family << " n=" << cfg.g.num_vertices()
+              << ": compact " << bpv << " B/vertex, wide " << wide_bpv
+              << " B/vertex (" << (cfg.g.compact_layout() ? "compact" : "wide")
+              << " auto-selected)\n";
+    sink.add(benchio::JsonRecord()
+                 .field("bench", "graph_memory")
+                 .field("family", cfg.family)
+                 .field("n", static_cast<std::int64_t>(cfg.g.num_vertices()))
+                 .field("edges", cfg.g.num_edges())
+                 .field("compact", cfg.g.compact_layout() ? 1 : 0)
+                 .field("offsets_bytes", mb.offsets_bytes)
+                 .field("adjacency_bytes", mb.adjacency_bytes)
+                 .field("mirror_bytes", mb.mirror_bytes)
+                 .field("owner_bytes", mb.owner_bytes)
+                 .field("bytes_per_vertex", bpv)
+                 .field("wide_bytes_per_vertex", wide_bpv));
+  }
+}
+
 void bench_substrate(benchio::JsonSink& sink) {
   std::cout << "\n== substrate end-to-end costs ==\n";
   {
@@ -621,6 +661,7 @@ int main(int argc, char** argv) {
   bench_flood_throughput(sink);
   bench_phase_boundary(sink);
   const bool scheduler_ok = bench_scheduler(sink, /*smoke=*/false);
+  bench_graph_memory(sink);
   bench_substrate(sink);
   return scheduler_ok ? 0 : 1;
 }

@@ -189,6 +189,7 @@ int main(int argc, char** argv) {
         .field("cold_builds", res->pool.cold_builds)
         .field("idle_sessions",
                static_cast<std::uint64_t>(res->pool.idle_sessions))
+        .field("peak_rss_bytes", benchio::peak_rss_bytes())
         .field("bit_identical", identical ? 1 : 0);
     benchio::latency_fields(rec, res->latency);
     if (workers != 1) rec.field("speedup_vs_single_session", speedup);

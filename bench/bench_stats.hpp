@@ -8,18 +8,43 @@
 //   * summarize_ms(samples)      -- min/mean/p50/p95/p99/max of a latency
 //                                   sample set (nearest-rank percentiles);
 //   * peak_round_words / peak_active -- maxima of the RunStats per-round
-//                                   series the records report.
+//                                   series the records report;
+//   * peak_rss_bytes()           -- the process's high-water resident set,
+//                                   for the memory columns of the scale and
+//                                   service benches.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "bench_json.hpp"
 #include "sim/runtime.hpp"
 
 namespace dvc::benchio {
+
+/// Peak resident set size of the calling process in bytes (VmHWM from
+/// /proc/self/status), or 0 where procfs is unavailable. The kernel's
+/// high-water mark covers the whole process lifetime, so benches that
+/// compare configurations should report it once per process or treat it as
+/// a monotone ceiling, not a per-section delta.
+inline std::uint64_t peak_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      kib = std::strtoull(line + 6, nullptr, 10);  // reported in kB
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
 
 /// Best-of-N wall-clock milliseconds of `fn` (the standard microbench
 /// reduction: the minimum is the least-noisy estimator of the true cost).

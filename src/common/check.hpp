@@ -2,8 +2,12 @@
 //
 // DVC_REQUIRE  -- precondition on caller-supplied arguments; always on.
 // DVC_ENSURE   -- internal invariant / postcondition; always on.
+// DVC_CHECK    -- cheap always-on guard for hot-path narrowing/overflow
+//                 sites (a predictable compare+branch); throws the same
+//                 invariant_error as DVC_ENSURE so an overflow that could
+//                 otherwise be silent UB surfaces as a structured error.
 //
-// Both throw std::logic_error subclasses so that misuse is diagnosable in
+// All throw std::logic_error subclasses so that misuse is diagnosable in
 // tests and never silently corrupts a simulation.
 #pragma once
 
@@ -55,4 +59,10 @@ namespace detail {
 #define DVC_ENSURE(cond, msg)                                               \
   do {                                                                      \
     if (!(cond)) ::dvc::detail::fail_ensure(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define DVC_CHECK(cond, msg)                                                \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]]                                               \
+      ::dvc::detail::fail_ensure(#cond, __FILE__, __LINE__, (msg));         \
   } while (0)

@@ -6,77 +6,29 @@
 
 namespace dvc {
 
-Graph Graph::from_edges(V n, const EdgeList& edges) {
-  DVC_REQUIRE(n >= 0, "vertex count must be non-negative");
-  // Normalize: drop self loops, order endpoints, dedupe.
-  EdgeList norm;
-  norm.reserve(edges.size());
-  for (auto [u, v] : edges) {
-    DVC_REQUIRE(u >= 0 && u < n && v >= 0 && v < n, "edge endpoint out of range");
-    if (u == v) continue;
-    if (u > v) std::swap(u, v);
-    norm.emplace_back(u, v);
-  }
-  std::sort(norm.begin(), norm.end());
-  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+Graph Graph::from_edges(V n, const EdgeList& edges, Layout layout) {
+  // Edge-list construction is now a thin client of the streaming builder:
+  // two passes over the caller's list, no normalized copy, no global sort.
+  CsrBuilder b(n);
+  for (const auto& [u, v] : edges) b.add(u, v);
+  b.next_pass();
+  for (const auto& [u, v] : edges) b.add(u, v);
+  return b.finish(layout);
+}
 
-  Graph g;
-  g.n_ = n;
-  g.m_ = static_cast<std::int64_t>(norm.size());
-  g.off_.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (auto [u, v] : norm) {
-    ++g.off_[static_cast<std::size_t>(u) + 1];
-    ++g.off_[static_cast<std::size_t>(v) + 1];
+V Graph::slot_owner(std::int64_t s) const {
+  DVC_REQUIRE(s >= 0 && s < num_slots(), "slot id out of range");
+  // The offset array is non-decreasing with off[0] = 0 and off[n] = 2m, so
+  // the owner of s is the last v with off[v] <= s. Zero-degree vertices
+  // collapse to repeated offsets and own no slots, which upper_bound skips
+  // naturally.
+  if (compact_) {
+    const auto it = std::upper_bound(off32_.begin(), off32_.end(),
+                                     static_cast<std::uint32_t>(s));
+    return static_cast<V>((it - off32_.begin()) - 1);
   }
-  for (V v = 0; v < n; ++v) g.off_[static_cast<std::size_t>(v) + 1] += g.off_[v];
-  g.adj_.resize(static_cast<std::size_t>(2 * g.m_));
-  std::vector<std::int64_t> cursor(g.off_.begin(), g.off_.end() - 1);
-  for (auto [u, v] : norm) {
-    g.adj_[static_cast<std::size_t>(cursor[u]++)] = v;
-    g.adj_[static_cast<std::size_t>(cursor[v]++)] = u;
-  }
-  // Adjacency is already sorted per vertex because `norm` is sorted and we
-  // append in order for the first endpoint; for the second endpoint order is
-  // also ascending since pairs are sorted lexicographically. Verify cheaply.
-  for (V v = 0; v < n; ++v) {
-    auto nb = g.neighbors(v);
-    DVC_ENSURE(std::is_sorted(nb.begin(), nb.end()), "adjacency must be sorted");
-  }
-  g.max_deg_ = 0;
-  for (V v = 0; v < n; ++v) g.max_deg_ = std::max(g.max_deg_, g.degree(v));
-
-  // Mirror + owner tables.
-  g.owner_.resize(static_cast<std::size_t>(2 * g.m_));
-  g.mirror_.resize(static_cast<std::size_t>(2 * g.m_));
-  for (V v = 0; v < n; ++v) {
-    for (std::int64_t s = g.off_[v]; s < g.off_[static_cast<std::size_t>(v) + 1]; ++s) {
-      g.owner_[static_cast<std::size_t>(s)] = v;
-    }
-  }
-  for (V v = 0; v < n; ++v) {
-    const auto nb = g.neighbors(v);
-    for (int p = 0; p < static_cast<int>(nb.size()); ++p) {
-      const V u = nb[p];
-      const int back = g.port_of(u, v);
-      DVC_ENSURE(back >= 0, "mirror port must exist");
-      g.mirror_[static_cast<std::size_t>(g.off_[v] + p)] = g.off_[u] + back;
-    }
-  }
-  // Content digest: the CSR arrays are canonical (adjacency sorted, edges
-  // deduped), so hashing the degree+neighbor stream gives a representation-
-  // independent topology hash. The per-vertex degree word keeps graphs with
-  // identical concatenated adjacency but different offsets apart.
-  std::uint64_t h = detail::digest_mix(
-      detail::digest_mix(0x64766367ULL /* "dvcg" */,
-                         static_cast<std::uint64_t>(n)),
-      static_cast<std::uint64_t>(g.m_));
-  for (V v = 0; v < n; ++v) {
-    const auto nb = g.neighbors(v);
-    h = detail::digest_mix(h, nb.size());
-    for (const V u : nb) h = detail::digest_mix(h, static_cast<std::uint64_t>(u));
-  }
-  g.digest_ = h;
-  return g;
+  const auto it = std::upper_bound(off64_.begin(), off64_.end(), s);
+  return static_cast<V>((it - off64_.begin()) - 1);
 }
 
 int Graph::port_of(V v, V u) const {
@@ -93,7 +45,7 @@ int Graph::port_of(V v, V u) const {
   }
   const auto it = std::lower_bound(nb.begin(), nb.end(), u);
   if (it == nb.end() || *it != u) return -1;
-  return static_cast<int>(it - nb.begin());
+  return detail::checked_port_cast(it - nb.begin());
 }
 
 EdgeList Graph::edges() const {
@@ -105,6 +57,156 @@ EdgeList Graph::edges() const {
     }
   }
   return out;
+}
+
+Graph::MemoryBreakdown Graph::memory_breakdown() const {
+  MemoryBreakdown mb;
+  mb.offsets_bytes = off32_.capacity() * sizeof(std::uint32_t) +
+                     off64_.capacity() * sizeof(std::int64_t);
+  mb.adjacency_bytes = adj_.capacity() * sizeof(V);
+  mb.mirror_bytes = mirror32_.capacity() * sizeof(std::uint32_t) +
+                    mirror64_.capacity() * sizeof(std::int64_t);
+  mb.owner_bytes = 0;  // derived by binary search; no per-slot table
+  return mb;
+}
+
+// ---------------------------------------------------------------------------
+// CsrBuilder
+
+CsrBuilder::CsrBuilder(V n) : n_(n) {
+  DVC_REQUIRE(n >= 0, "vertex count must be non-negative");
+  cur_.assign(static_cast<std::size_t>(n), 0);
+}
+
+void CsrBuilder::next_pass() {
+  DVC_REQUIRE(counting_, "next_pass called after the counting pass ended");
+  counting_ = false;
+  off_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (V v = 0; v < n_; ++v) {
+    off_[static_cast<std::size_t>(v) + 1] =
+        off_[static_cast<std::size_t>(v)] + cur_[static_cast<std::size_t>(v)];
+  }
+  adj_.resize(static_cast<std::size_t>(off_[static_cast<std::size_t>(n_)]));
+  for (V v = 0; v < n_; ++v) {
+    cur_[static_cast<std::size_t>(v)] = off_[static_cast<std::size_t>(v)];
+  }
+}
+
+Graph CsrBuilder::finish(Graph::Layout layout) {
+  DVC_REQUIRE(!counting_, "finish called before the fill pass (next_pass)");
+  DVC_REQUIRE(!finished_, "finish called twice");
+  finished_ = true;
+  for (V v = 0; v < n_; ++v) {
+    DVC_ENSURE(cur_[static_cast<std::size_t>(v)] ==
+                   off_[static_cast<std::size_t>(v) + 1],
+               "fill pass emitted a different edge stream than the count pass");
+  }
+
+  Graph g;
+  g.n_ = n_;
+
+  // Canonicalize in place: sort each row, drop duplicates, compact the
+  // adjacency array left. Rows are processed in order and dedupe only
+  // shrinks, so the write head never overtakes the read head.
+  std::int64_t w = 0;
+  int max_deg = 0;
+  // Reuse cur_ as the final (post-dedupe) offset of each vertex.
+  for (V v = 0; v < n_; ++v) {
+    const std::int64_t lo = off_[static_cast<std::size_t>(v)];
+    const std::int64_t hi = off_[static_cast<std::size_t>(v) + 1];
+    V* first = adj_.data() + lo;
+    V* last = adj_.data() + hi;
+    std::sort(first, last);
+    V* end = std::unique(first, last);
+    const std::int64_t deg = end - first;
+    cur_[static_cast<std::size_t>(v)] = w;
+    if (w != lo) std::copy(first, end, adj_.data() + w);
+    w += deg;
+    max_deg = std::max(max_deg, detail::checked_port_cast(deg));
+  }
+  DVC_ENSURE(w % 2 == 0, "slot count must be even (one mirror per slot)");
+  g.m_ = w / 2;
+  g.max_deg_ = max_deg;
+  adj_.resize(static_cast<std::size_t>(w));
+  adj_.shrink_to_fit();  // release the duplicate slack before mirrors
+
+  const bool fits_compact =
+      w <= static_cast<std::int64_t>(std::numeric_limits<std::uint32_t>::max());
+  DVC_REQUIRE(layout != Graph::Layout::kCompact || fits_compact,
+              "2m does not fit the 32-bit compact layout");
+  g.compact_ = layout == Graph::Layout::kWide ? false : fits_compact;
+
+  if (g.compact_) {
+    g.off32_.resize(static_cast<std::size_t>(n_) + 1);
+    for (V v = 0; v < n_; ++v) {
+      g.off32_[static_cast<std::size_t>(v)] =
+          static_cast<std::uint32_t>(cur_[static_cast<std::size_t>(v)]);
+    }
+    g.off32_[static_cast<std::size_t>(n_)] = static_cast<std::uint32_t>(w);
+  } else {
+    g.off64_.resize(static_cast<std::size_t>(n_) + 1);
+    for (V v = 0; v < n_; ++v) {
+      g.off64_[static_cast<std::size_t>(v)] = cur_[static_cast<std::size_t>(v)];
+    }
+    g.off64_[static_cast<std::size_t>(n_)] = w;
+  }
+  off_.clear();
+  off_.shrink_to_fit();
+  g.adj_ = std::move(adj_);
+
+  // Mirror table in O(2m): sweep v ascending. For a neighbor u > v, the
+  // vertices < u arrive in ascending order -- exactly the sorted prefix of
+  // u's row -- so a per-vertex counter of already-mirrored smaller
+  // neighbors names the back port directly, with no per-slot search.
+  auto final_off = [&](V v) {
+    return g.compact_
+               ? static_cast<std::int64_t>(g.off32_[static_cast<std::size_t>(v)])
+               : g.off64_[static_cast<std::size_t>(v)];
+  };
+  if (g.compact_) {
+    g.mirror32_.resize(static_cast<std::size_t>(w));
+  } else {
+    g.mirror64_.resize(static_cast<std::size_t>(w));
+  }
+  std::fill(cur_.begin(), cur_.end(), 0);
+  for (V v = 0; v < n_; ++v) {
+    const std::int64_t base = final_off(v);
+    const std::int64_t deg = final_off(v + 1) - base;
+    for (std::int64_t p = 0; p < deg; ++p) {
+      const V u = g.adj_[static_cast<std::size_t>(base + p)];
+      if (u < v) continue;  // mirrored when u's row reached v
+      const std::int64_t s = base + p;
+      const std::int64_t t = final_off(u) + cur_[static_cast<std::size_t>(u)]++;
+      DVC_ENSURE(g.adj_[static_cast<std::size_t>(t)] == v,
+                 "mirror cursor desynchronized from the sorted adjacency");
+      if (g.compact_) {
+        g.mirror32_[static_cast<std::size_t>(s)] = static_cast<std::uint32_t>(t);
+        g.mirror32_[static_cast<std::size_t>(t)] = static_cast<std::uint32_t>(s);
+      } else {
+        g.mirror64_[static_cast<std::size_t>(s)] = t;
+        g.mirror64_[static_cast<std::size_t>(t)] = s;
+      }
+    }
+  }
+  cur_.clear();
+  cur_.shrink_to_fit();
+
+  // Content digest: the CSR arrays are canonical (adjacency sorted, edges
+  // deduped), so hashing the degree+neighbor stream gives a representation-
+  // independent topology hash -- identical for compact and wide layouts.
+  // The per-vertex degree word keeps graphs with identical concatenated
+  // adjacency but different offsets apart.
+  std::uint64_t h = detail::digest_mix(
+      detail::digest_mix(0x64766367ULL /* "dvcg" */,
+                         static_cast<std::uint64_t>(n_)),
+      static_cast<std::uint64_t>(g.m_));
+  for (V v = 0; v < n_; ++v) {
+    const auto nb = g.neighbors(v);
+    h = detail::digest_mix(h, nb.size());
+    for (const V u : nb) h = detail::digest_mix(h, static_cast<std::uint64_t>(u));
+  }
+  g.digest_ = h;
+  return g;
 }
 
 }  // namespace dvc

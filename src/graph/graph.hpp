@@ -6,12 +6,30 @@
 // Every undirected edge {u, v} owns two "directed slots": slot(u, port_u) and
 // slot(v, port_v), one per endpoint. Slots index per-edge data (orientations,
 // message routing); mirror_slot maps a slot to the opposite endpoint's slot.
+//
+// Memory layout (see DESIGN.md, "Memory layout & giant graphs"): the CSR
+// arrays come in two layouts selected once at construction.
+//   * Compact (2m < 2^32): 32-bit slot offsets and 32-bit mirror indices --
+//     8 bytes per slot plus 4 bytes per vertex. This covers every graph up
+//     to ~2 billion directed slots, i.e. all Graph500-class instances this
+//     box can hold.
+//   * Wide (2m >= 2^32): 64-bit offsets and mirrors, the old layout.
+// The slot-owner table is eliminated in BOTH layouts: slot_owner() derives
+// the owner by binary search over the offset array (O(log n), used only on
+// cold paths -- the runtime's hot delivery paths carry receiver ids
+// explicitly precisely so they never pay an owner lookup). All accessors
+// hide the choice; programs, drivers and the runtime are layout-agnostic,
+// and two Graphs built from the same edge set are bit-identical in every
+// observable (adjacency, slots, mirrors, digest) regardless of layout.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <utility>
 #include <vector>
+
+#include "common/check.hpp"
 
 namespace dvc {
 
@@ -39,37 +57,85 @@ constexpr std::uint64_t empty_graph_digest() {
   return digest_mix(digest_mix(0x64766367ULL /* "dvcg" */, 0), 0);
 }
 
+/// Documented degree cap: a vertex can have at most kMaxDegree incident
+/// edges. Any constructible simple graph satisfies it (neighbors are
+/// distinct and n <= INT32_MAX), so the cap exists to turn a hypothetical
+/// future overflow -- e.g. a multigraph extension -- into a structured
+/// invariant_error instead of undefined int narrowing.
+inline constexpr std::int64_t kMaxDegree =
+    std::numeric_limits<int>::max() - 1;
+
+/// Checked narrowing for the degree()/slot_port()/port_of() int paths.
+inline int checked_port_cast(std::int64_t d) {
+  DVC_CHECK(d >= 0 && d <= kMaxDegree,
+            "per-vertex degree/port exceeds the documented int cap");
+  return static_cast<int>(d);
+}
+
 }  // namespace detail
 
 class Graph {
  public:
+  /// CSR storage width. kAuto picks compact iff 2m fits 32 bits; kCompact /
+  /// kWide force a layout (kCompact throws precondition_error if 2m does
+  /// not fit). Forcing exists for the layout bit-identity test suite and
+  /// A/B memory measurements; production callers use kAuto.
+  enum class Layout { kAuto, kCompact, kWide };
+
   Graph() = default;
 
   /// Builds from an edge list: self loops are dropped, parallel edges are
   /// deduplicated, adjacency lists are sorted ascending.
-  static Graph from_edges(V n, const EdgeList& edges);
+  static Graph from_edges(V n, const EdgeList& edges,
+                          Layout layout = Layout::kAuto);
 
   V num_vertices() const { return n_; }
   std::int64_t num_edges() const { return m_; }
   std::int64_t num_slots() const { return 2 * m_; }
+  /// True when the 32-bit (compact) CSR layout is in use.
+  bool compact_layout() const { return compact_; }
 
   int degree(V v) const {
-    return static_cast<int>(off_[static_cast<std::size_t>(v) + 1] - off_[v]);
+    const auto i = static_cast<std::size_t>(v);
+    return compact_
+               ? detail::checked_port_cast(
+                     static_cast<std::int64_t>(off32_[i + 1]) - off32_[i])
+               : detail::checked_port_cast(off64_[i + 1] - off64_[i]);
   }
   std::span<const V> neighbors(V v) const {
-    return {adj_.data() + off_[v],
-            static_cast<std::size_t>(off_[static_cast<std::size_t>(v) + 1] - off_[v])};
+    const auto i = static_cast<std::size_t>(v);
+    if (compact_) {
+      return {adj_.data() + off32_[i],
+              static_cast<std::size_t>(off32_[i + 1] - off32_[i])};
+    }
+    return {adj_.data() + off64_[i],
+            static_cast<std::size_t>(off64_[i + 1] - off64_[i])};
   }
-  V neighbor(V v, int port) const { return adj_[off_[v] + port]; }
+  V neighbor(V v, int port) const {
+    return adj_[static_cast<std::size_t>(slot(v, port))];
+  }
   int max_degree() const { return max_deg_; }
 
   /// Directed slot id of (v, port).
-  std::int64_t slot(V v, int port) const { return off_[v] + port; }
+  std::int64_t slot(V v, int port) const {
+    const auto i = static_cast<std::size_t>(v);
+    return (compact_ ? static_cast<std::int64_t>(off32_[i]) : off64_[i]) +
+           port;
+  }
   /// Slot of the reverse direction of the same undirected edge.
-  std::int64_t mirror_slot(std::int64_t s) const { return mirror_[s]; }
-  V slot_owner(std::int64_t s) const { return owner_[s]; }
+  std::int64_t mirror_slot(std::int64_t s) const {
+    const auto i = static_cast<std::size_t>(s);
+    return compact_ ? static_cast<std::int64_t>(mirror32_[i]) : mirror64_[i];
+  }
+  /// Owning vertex of slot s, derived from the offset array by binary
+  /// search (O(log n)). The per-slot owner table of the old layout is gone
+  /// -- no hot path looks owners up (the runtime's delivery index records
+  /// receivers at send time instead), and eliminating it saves 4 bytes per
+  /// slot in every layout.
+  V slot_owner(std::int64_t s) const;
   int slot_port(std::int64_t s) const {
-    return static_cast<int>(s - off_[owner_[s]]);
+    const V v = slot_owner(s);
+    return detail::checked_port_cast(s - slot(v, 0));
   }
 
   /// Port of u in v's adjacency list, or -1 if {v,u} is not an edge.
@@ -88,20 +154,98 @@ class Graph {
   /// Stable 64-bit content hash over (n, m, per-vertex degree + adjacency),
   /// computed once at construction. Two Graphs built from the same vertex
   /// count and edge set (in any input order -- from_edges canonicalizes)
-  /// share a digest; relabeling vertices changes it. Used by the service
-  /// layer's graph store to intern topologies, and stable across processes
-  /// and platforms (no pointers, no ASLR, fixed-width arithmetic).
+  /// share a digest; relabeling vertices changes it. Layout-invariant: the
+  /// hash streams the canonical adjacency, which compact and wide layouts
+  /// represent identically. Used by the service layer's graph store to
+  /// intern topologies, and stable across processes and platforms (no
+  /// pointers, no ASLR, fixed-width arithmetic).
   std::uint64_t digest() const { return digest_; }
 
+  /// Per-array heap footprint of the CSR representation, for the memory
+  /// budget the scale benches report (bytes, capacity not size, so the
+  /// number matches what the allocator actually holds).
+  struct MemoryBreakdown {
+    std::uint64_t offsets_bytes = 0;    ///< off32_/off64_ (n+1 entries)
+    std::uint64_t adjacency_bytes = 0;  ///< adj_ (2m entries)
+    std::uint64_t mirror_bytes = 0;     ///< mirror32_/mirror64_ (2m entries)
+    std::uint64_t owner_bytes = 0;      ///< always 0: the table is derived
+    std::uint64_t total() const {
+      return offsets_bytes + adjacency_bytes + mirror_bytes + owner_bytes;
+    }
+  };
+  MemoryBreakdown memory_breakdown() const;
+  std::uint64_t memory_bytes() const { return memory_breakdown().total(); }
+
  private:
+  friend class CsrBuilder;
+
   V n_ = 0;
   std::int64_t m_ = 0;
   int max_deg_ = 0;
+  bool compact_ = true;  // the empty graph fits the compact layout
   std::uint64_t digest_ = detail::empty_graph_digest();
-  std::vector<std::int64_t> off_;  // size n+1
-  std::vector<V> adj_;             // size 2m, sorted per vertex
-  std::vector<std::int64_t> mirror_;  // size 2m
-  std::vector<V> owner_;              // size 2m
+  // Exactly one offset/mirror pair is populated, per `compact_`.
+  std::vector<std::uint32_t> off32_;    // size n+1 (compact)
+  std::vector<std::int64_t> off64_;     // size n+1 (wide)
+  std::vector<V> adj_;                  // size 2m, sorted per vertex
+  std::vector<std::uint32_t> mirror32_;  // size 2m (compact)
+  std::vector<std::int64_t> mirror64_;   // size 2m (wide)
+};
+
+/// Two-pass streaming CSR construction: feed the edge stream once to count
+/// degrees, once to fill adjacency, and never materialize an EdgeList. The
+/// canonical protocol (generators.hpp wraps it for every deterministic
+/// generator):
+///
+///   CsrBuilder b(n);
+///   for (...) b.add(u, v);   // pass 1: degree counting
+///   b.next_pass();
+///   for (...) b.add(u, v);   // pass 2: identical stream, adjacency fill
+///   Graph g = b.finish();    // canonicalize + mirrors + digest
+///
+/// Both passes must emit the SAME edge multiset (deterministic generators
+/// re-seed their PRNG per pass); finish() checks the counts agree. Self
+/// loops are dropped on add; duplicates are removed by finish(), so the
+/// result is bit-identical to Graph::from_edges on the same stream --
+/// including the digest -- at a fraction of the peak memory (no 8-byte
+/// edge pairs, no sort of the full edge list).
+class CsrBuilder {
+ public:
+  explicit CsrBuilder(V n);
+
+  /// Streams one undirected edge {u, v}. Self loops are dropped here;
+  /// endpoints are range-checked.
+  void add(V u, V v) {
+    DVC_REQUIRE(u >= 0 && u < n_ && v >= 0 && v < n_,
+                "edge endpoint out of range");
+    if (u == v) return;
+    if (counting_) {
+      ++cur_[static_cast<std::size_t>(u)];
+      ++cur_[static_cast<std::size_t>(v)];
+      return;
+    }
+    adj_[static_cast<std::size_t>(cur_[static_cast<std::size_t>(u)]++)] = v;
+    adj_[static_cast<std::size_t>(cur_[static_cast<std::size_t>(v)]++)] = u;
+  }
+
+  /// Ends the counting pass: prefix-sums the degree counts and allocates
+  /// the adjacency array for the fill pass.
+  void next_pass();
+
+  /// Canonicalizes (per-vertex sort + dedupe), builds mirrors, computes the
+  /// digest, and returns the finished Graph. The builder is left empty.
+  Graph finish(Graph::Layout layout = Graph::Layout::kAuto);
+
+ private:
+  V n_ = 0;
+  bool counting_ = true;
+  bool finished_ = false;
+  /// Counting pass: per-vertex slot counts (index v). Fill pass: the write
+  /// cursor of vertex v. 64-bit so a pathological duplicate-heavy stream
+  /// cannot overflow before finish() dedupes.
+  std::vector<std::int64_t> cur_;
+  std::vector<std::int64_t> off_;  // raw (pre-dedupe) offsets, size n+1
+  std::vector<V> adj_;             // raw adjacency, duplicates included
 };
 
 }  // namespace dvc

@@ -276,12 +276,21 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
   }
 
   // All slot- and vertex-sized state is allocated here, once per session;
-  // run_phase only resets it.
+  // run_phase only resets it. The slot- and vertex-indexed arrays are
+  // allocated WITHOUT initialization: the kInit job dispatched below has
+  // each shard default its own slice, so the backing pages are first
+  // touched by the thread that will read and write them (NUMA first-touch
+  // placement). Vectors below that are filled exclusively by their owning
+  // shard (live, grouped, touched, words) get the same property for free:
+  // reserve() maps pages without faulting them in.
   const auto slots = static_cast<std::size_t>(g.num_slots());
+  slots_ = g.num_slots();
+  touch_idx_ok_ =
+      slots_ <= static_cast<std::int64_t>(std::numeric_limits<std::uint32_t>::max());
   for (Arena& arena : arenas_) {
-    arena.epoch.assign(slots, -1);
-    arena.off.assign(slots, 0);
-    arena.len.assign(slots, 0);
+    arena.epoch = std::make_unique_for_overwrite<std::int32_t[]>(slots);
+    arena.off = std::make_unique_for_overwrite<std::uint32_t[]>(slots);
+    arena.len = std::make_unique_for_overwrite<std::uint32_t[]>(slots);
     arena.words.resize(static_cast<std::size_t>(num_shards_));
     arena.touched.resize(static_cast<std::size_t>(num_shards_));
     arena.touched_recv.resize(static_cast<std::size_t>(num_shards_));
@@ -303,18 +312,23 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
   DVC_REQUIRE(g.num_slots() < (std::int64_t{1} << kTouchSenderShift),
               "graph slot space exceeds the grouped-delivery packing");
   halted_.assign(static_cast<std::size_t>(n), 0);
-  recv_meta_.assign(static_cast<std::size_t>(n), RecvMeta{});
+  recv_meta_ = std::make_unique_for_overwrite<RecvMeta[]>(
+      static_cast<std::size_t>(n));
   for (Shard& sh : shards_) {
     // Live list holds at most the shard's vertex range; the grouped-slot
-    // workspace at most one message per slot owned by the shard. Inboxes
-    // hold at most the shard's max degree. Reserving the exact bounds here
-    // makes every round -- including the first of a cold phase -- provably
-    // allocation-free in the delivery path.
+    // workspace at most the total touch cap (grouped delivery is disabled
+    // the moment any sender overflows its per-round cap, so entries can
+    // never exceed shards * touch_cap_). Inboxes hold at most the shard's
+    // max degree. Reserving the exact bounds here makes every round --
+    // including the first of a cold phase -- provably allocation-free in
+    // the delivery path.
     sh.slot_lo = sh.first < n ? g.slot(sh.first, 0) : g.num_slots();
     sh.slot_hi = sh.last < n ? g.slot(sh.last, 0) : g.num_slots();
     sh.live.reserve(static_cast<std::size_t>(sh.last - sh.first));
     sh.receivers.reserve(static_cast<std::size_t>(sh.last - sh.first));
-    sh.grouped.reserve(static_cast<std::size_t>(sh.slot_hi - sh.slot_lo));
+    sh.grouped.reserve(std::min(
+        static_cast<std::size_t>(sh.slot_hi - sh.slot_lo),
+        static_cast<std::size_t>(num_shards_) * touch_cap_));
     int max_deg = 0;
     for (V v = sh.first; v < sh.last; ++v) {
       max_deg = std::max(max_deg, g.degree(v));
@@ -334,7 +348,7 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
       MachineryScope machinery;
       std::uint64_t seen = 0;
       for (;;) {
-        bool is_begin;
+        Job job;
         VertexProgram* program;
         {
           std::unique_lock<std::mutex> lock(mutex_);
@@ -342,10 +356,14 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
                          [&] { return stopping_ || generation_ != seen; });
           if (stopping_) return;
           seen = generation_;
-          is_begin = phase_is_begin_;
+          job = job_;
           program = program_;
         }
-        run_shard_phase(shard, *program, is_begin);
+        if (job == Job::kInit) {
+          init_shard(shard);
+        } else {
+          run_shard_phase(shard, *program, job == Job::kBegin);
+        }
         {
           std::lock_guard<std::mutex> lock(mutex_);
           if (--pending_ == 0) done_cv_.notify_one();
@@ -353,6 +371,10 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
       }
     });
   }
+
+  // First-touch pass: every shard faults in its own arena slices before any
+  // phase runs (see Job::kInit).
+  dispatch(Job::kInit);
 }
 
 Runtime::~Runtime() {
@@ -407,7 +429,7 @@ void Runtime::do_send(int shard, V from, int port,
     // rounds predicted dense (and under the dense scheduler).
     auto& touched = out.touched[static_cast<std::size_t>(shard)];
     if (touched.size() < touch_cap_) {
-      touched.push_back(static_cast<std::int64_t>(s));
+      touched.push_back(static_cast<std::uint32_t>(s));
       out.touched_recv[static_cast<std::size_t>(shard)].push_back(
           g_->neighbor(from, port));
     } else {
@@ -591,7 +613,8 @@ void Runtime::sparse_step(int shard, VertexProgram& program) {
         const V r = recv[i];
         if (r < sh.first || r >= sh.last) continue;
         RecvMeta& m = recv_meta_[static_cast<std::size_t>(r)];
-        sh.grouped[m.off + m.count++] = sender_tag | slots[i];
+        sh.grouped[m.off + m.count++] =
+            sender_tag | static_cast<std::int64_t>(slots[i]);
       }
     }
   }
@@ -667,19 +690,41 @@ void Runtime::merge_shards() {
   if (first_error) std::rethrow_exception(first_error);
 }
 
-void Runtime::dispatch(bool is_begin) {
+void Runtime::init_shard(int shard) {
+  const Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  for (Arena& arena : arenas_) {
+    std::fill(arena.epoch.get() + sh.slot_lo, arena.epoch.get() + sh.slot_hi,
+              std::int32_t{-1});
+    std::fill(arena.off.get() + sh.slot_lo, arena.off.get() + sh.slot_hi,
+              std::uint32_t{0});
+    std::fill(arena.len.get() + sh.slot_lo, arena.len.get() + sh.slot_hi,
+              std::uint32_t{0});
+  }
+  for (V v = sh.first; v < sh.last; ++v) {
+    recv_meta_[static_cast<std::size_t>(v)] = RecvMeta{};
+  }
+}
+
+void Runtime::dispatch(Job job) {
+  const auto run_mine = [&] {
+    if (job == Job::kInit) {
+      init_shard(0);
+    } else {
+      run_shard_phase(0, *program_, job == Job::kBegin);
+    }
+  };
   if (threads_.empty()) {
-    run_shard_phase(0, *program_, is_begin);
+    run_mine();
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    phase_is_begin_ = is_begin;
+    job_ = job;
     pending_ = static_cast<int>(threads_.size());
     ++generation_;
   }
   start_cv_.notify_all();
-  run_shard_phase(0, *program_, is_begin);
+  run_mine();
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return pending_ == 0; });
 }
@@ -695,11 +740,11 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
   if (stamp_base_ >
       std::numeric_limits<std::int32_t>::max() - std::max(max_rounds, 0) - 2) {
     for (Arena& arena : arenas_) {
-      std::fill(arena.epoch.begin(), arena.epoch.end(), -1);
+      std::fill_n(arena.epoch.get(), static_cast<std::size_t>(slots_), -1);
     }
     // The per-vertex delivery stamps share the session-round numbering and
     // must wrap with it.
-    for (RecvMeta& m : recv_meta_) m.stamp = -1;
+    for (V v = 0; v < n; ++v) recv_meta_[static_cast<std::size_t>(v)].stamp = -1;
     stamp_base_ = 0;
   }
   // On every exit -- including a round-cap throw mid-phase -- advance the
@@ -744,12 +789,13 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
   }
 
   // Begin() has no message history to predict from; record (capped), so a
-  // halt-heavy begin can hand round 1 a grouped delivery.
-  record_touched_ = phase_sparse_;
+  // halt-heavy begin can hand round 1 a grouped delivery. touch_idx_ok_
+  // gates the whole index: a slot space past 32 bits delivers by port scan.
+  record_touched_ = phase_sparse_ && touch_idx_ok_;
   arenas_[1].indexed = record_touched_;
   std::uint64_t words_before = stats_.words;
   std::uint64_t msgs_before = stats_.messages;
-  dispatch(/*is_begin=*/true);
+  dispatch(Job::kBegin);
   merge_shards();
   stats_.words_per_round.push_back(stats_.words - words_before);
 
@@ -776,12 +822,13 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
       std::uint64_t total_ports = 0;
       for (const Shard& sh : shards_) total_ports += sh.live_ports;
       const std::uint64_t last_msgs = stats_.messages - msgs_before;
-      record_touched_ = last_msgs * kTouchRecordFactor <= total_ports;
+      record_touched_ =
+          touch_idx_ok_ && last_msgs * kTouchRecordFactor <= total_ports;
     }
     out.indexed = record_touched_;
     words_before = stats_.words;
     msgs_before = stats_.messages;
-    dispatch(/*is_begin=*/false);
+    dispatch(Job::kStep);
     merge_shards();
     stats_.words_per_round.push_back(stats_.words - words_before);
     if (observer_) {
@@ -797,6 +844,39 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
 
 const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds) {
   return run_phase(program, max_rounds, program.name());
+}
+
+Runtime::MemoryBreakdown Runtime::memory_breakdown() const {
+  MemoryBreakdown mb;
+  const auto slots = static_cast<std::uint64_t>(slots_);
+  // Two arenas of slot-indexed epoch/off/len (raw arrays: exact).
+  mb.arena_bytes =
+      2 * slots * (sizeof(std::int32_t) + 2 * sizeof(std::uint32_t));
+  for (const Arena& arena : arenas_) {
+    for (const auto& w : arena.words) {
+      mb.payload_bytes += w.capacity() * sizeof(std::int64_t);
+    }
+    for (const auto& t : arena.touched) {
+      mb.index_bytes += t.capacity() * sizeof(std::uint32_t);
+    }
+    for (const auto& t : arena.touched_recv) {
+      mb.index_bytes += t.capacity() * sizeof(V);
+    }
+    mb.index_bytes += arena.touch_overflow.capacity();
+  }
+  mb.vertex_bytes += halted_.capacity();
+  mb.vertex_bytes +=
+      static_cast<std::uint64_t>(g_->num_vertices()) * sizeof(RecvMeta);
+  for (const Shard& sh : shards_) {
+    mb.index_bytes += sh.live.capacity() * sizeof(V);
+    mb.index_bytes += sh.receivers.capacity() * sizeof(V);
+    mb.index_bytes += sh.grouped.capacity() * sizeof(std::int64_t);
+    for (const auto& s : sh.scratch) {
+      mb.index_bytes += s.capacity() * sizeof(std::int64_t);
+    }
+    mb.index_bytes += sh.inbox.msgs_.capacity() * sizeof(MsgView);
+  }
+  return mb;
 }
 
 int default_round_cap(V n, int scale) {

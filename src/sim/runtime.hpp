@@ -78,6 +78,7 @@
 #include <exception>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -474,8 +475,42 @@ class Runtime {
   static void set_default_shards(int shards);
   static int default_shards();
 
+  /// Heap bytes of all session state, split the way the per-slot budget in
+  /// DESIGN.md ("Memory layout & giant graphs") is drawn up: the
+  /// slot-indexed steady state (arenas + delivery indexes + per-vertex
+  /// bookkeeping) is bounded per slot independent of traffic, while
+  /// payload_bytes is the high-water capacity of the double-buffered
+  /// message-word buffers -- proportional to the widest round's traffic
+  /// (up to 2 x congest_words x 8 bytes per slot under a full flood).
+  struct MemoryBreakdown {
+    std::uint64_t arena_bytes = 0;    ///< epoch/off/len, both arenas (exact)
+    std::uint64_t payload_bytes = 0;  ///< message words, both arenas
+    std::uint64_t index_bytes = 0;    ///< touched/receivers/grouped/live/...
+    std::uint64_t vertex_bytes = 0;   ///< recv_meta + halted (per-vertex)
+    std::uint64_t total() const {
+      return arena_bytes + payload_bytes + index_bytes + vertex_bytes;
+    }
+    /// Everything except the traffic-proportional payload high-water.
+    std::uint64_t steady_bytes() const { return total() - payload_bytes; }
+  };
+  MemoryBreakdown memory_breakdown() const;
+
+  /// Heap bytes of all session state (mailbox arenas, payload buffers,
+  /// delivery indexes, per-shard workspaces, halted/live bookkeeping), by
+  /// capacity. Together with Graph::memory_bytes() this is the number the
+  /// scale benches divide by num_slots() for the bytes-per-slot budget.
+  std::uint64_t memory_bytes() const { return memory_breakdown().total(); }
+
  private:
   friend class Ctx;
+
+  /// What a dispatched sweep runs on each shard. kInit is issued once, from
+  /// the constructor: every shard default-initializes ITS OWN slice of the
+  /// slot- and vertex-indexed arrays, so on NUMA machines the backing pages
+  /// are first touched -- hence placed -- by the thread that will use them.
+  /// (The arrays are allocated with make_unique_for_overwrite precisely so
+  /// the allocating main thread does not fault the pages in first.)
+  enum class Job { kInit, kBegin, kStep };
 
   /// One direction of the double buffer. Slot s (a directed edge endpoint)
   /// holds at most one message per round; `epoch[s]` stamps the *session
@@ -487,9 +522,12 @@ class Runtime {
   /// race-free; `off/len` locate a slot's payload inside the sending
   /// shard's buffer.
   struct Arena {
-    std::vector<std::int32_t> epoch;
-    std::vector<std::uint32_t> off;
-    std::vector<std::uint32_t> len;
+    /// Slot-indexed arrays (12 bytes per slot): raw first-touch-initialized
+    /// buffers, not vectors, so page placement follows the kInit job (see
+    /// Job) instead of the constructing thread.
+    std::unique_ptr<std::int32_t[]> epoch;
+    std::unique_ptr<std::uint32_t[]> off;
+    std::unique_ptr<std::uint32_t[]> len;
     std::vector<std::vector<std::int64_t>> words;  // one per shard
     /// Sender-driven delivery index (sparse scheduler only): the inbox
     /// slots each sending shard wrote this round, as one flat list per
@@ -498,8 +536,11 @@ class Runtime {
     /// vertex-contiguous shards get for free). Recording stops at the
     /// runtime's touch cap -- the matching overflow flag forces port-scan
     /// delivery, which is the right mode at such message volumes anyway.
-    /// Cleared per round; capacity persists.
-    std::vector<std::vector<std::int64_t>> touched;
+    /// Cleared per round; capacity persists. Entries are 32-bit slot ids:
+    /// recording is gated on num_slots() fitting 32 bits (a graph past
+    /// that -- half a terabyte of arenas -- delivers by port scan), which
+    /// halves the index's footprint on every graph this box can hold.
+    std::vector<std::vector<std::uint32_t>> touched;
     /// Receiver vertex of each touched slot, recorded by the sender (which
     /// reads it from its own cached adjacency row): the delivery gather
     /// filters and groups by receiver without ever touching the 2m-sized
@@ -544,11 +585,19 @@ class Runtime {
     /// Grouped-delivery workspace: touched slots destined to this shard,
     /// grouped contiguously by receiving vertex (first-touch order), and
     /// the distinct receivers. Capacity persists across rounds/phases.
+    /// Bounded by the total touch cap, NOT the shard's slot range: grouped
+    /// delivery only runs when every sender stayed under its cap, so the
+    /// entry count can never exceed shards * touch_cap_ -- reserving the
+    /// full slot range would cost 8 bytes per slot for a workspace that by
+    /// construction never fills past a fraction of it.
     std::vector<std::int64_t> grouped;
     std::vector<V> receivers;
   };
 
   int shard_of(V v) const { return static_cast<int>(v / chunk_); }
+  /// First-touch initialization of the shard's slices of the slot-indexed
+  /// arena arrays and vertex-indexed delivery metadata (Job::kInit).
+  void init_shard(int shard);
   void do_send(int shard, V from, int port, std::span<const std::int64_t> payload);
   void do_halt(int shard, V v);
   /// Runs begin() (round 0) or step() for every live vertex of one shard.
@@ -565,13 +614,20 @@ class Runtime {
   /// Folds per-shard counters into stats_/live_ (serial, canonical order)
   /// and rethrows the first shard error.
   void merge_shards();
-  /// Dispatches one begin/step sweep across the parked pool (or runs it
-  /// inline when single-sharded).
-  void dispatch(bool is_begin);
+  /// Dispatches one job (init/begin/step sweep) across the parked pool (or
+  /// runs it inline when single-sharded).
+  void dispatch(Job job);
 
   const Graph* g_;
   int num_shards_ = 1;
   V chunk_ = 1;
+  /// Cached g_->num_slots(): sizes the raw arena arrays (which, unlike
+  /// vectors, do not carry their own length).
+  std::int64_t slots_ = 0;
+  /// Whether slot ids fit the 32-bit touched index (num_slots() <= 2^32-1);
+  /// independent of the Graph's own layout choice, so a forced-wide small
+  /// graph still exercises grouped delivery.
+  bool touch_idx_ok_ = true;
   std::vector<Shard> shards_;
   Arena arenas_[2];
   int in_idx_ = 0;  // arenas_[in_idx_] feeds this round's inboxes
@@ -601,7 +657,7 @@ class Runtime {
     std::uint32_t count = 0;
     std::uint32_t off = 0;
   };
-  std::vector<RecvMeta> recv_meta_;
+  std::unique_ptr<RecvMeta[]> recv_meta_;  // n entries, first-touch (kInit)
   /// Session-round base of the current phase: epoch stamps are
   /// stamp_base_ + round_. Advanced past every stamp the finished phase
   /// wrote; wraps (with a full epoch reset) long before int32 overflow.
@@ -622,7 +678,7 @@ class Runtime {
   std::condition_variable start_cv_, done_cv_;
   std::uint64_t generation_ = 0;
   int pending_ = 0;
-  bool phase_is_begin_ = false;
+  Job job_ = Job::kInit;
   bool stopping_ = false;
   VertexProgram* program_ = nullptr;
   std::vector<std::thread> threads_;

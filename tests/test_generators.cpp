@@ -305,5 +305,79 @@ TEST(Generators, LowArbHighDegreeHubsReachTarget) {
   EXPECT_LE(degeneracy(g), 2 * 3);  // union of <= 3 forests
 }
 
+// --- Giant-graph streaming families (R-MAT, scale-parameterized BA) --------
+
+TEST(Generators, RmatBasicProperties) {
+  const Graph g = rmat_graph(10, 8, 1);
+  EXPECT_EQ(g.num_vertices(), 1 << 10);
+  check_simple_graph(g);
+  // edgefactor * 2^scale draws, minus self loops and duplicates.
+  EXPECT_LE(g.num_edges(), std::int64_t{8} << 10);
+  EXPECT_GE(g.num_edges(), (std::int64_t{8} << 10) / 2);
+  // Skew: the power-law head out-degrees the average by a wide margin.
+  EXPECT_GE(g.max_degree(), 4 * 16);
+}
+
+TEST(Generators, RmatDeterministicInSeedAndParams) {
+  EXPECT_EQ(rmat_graph(9, 8, 3).digest(), rmat_graph(9, 8, 3).digest());
+  EXPECT_NE(rmat_graph(9, 8, 3).digest(), rmat_graph(9, 8, 4).digest());
+  EXPECT_NE(rmat_graph(9, 8, 3).digest(),
+            rmat_graph(9, 8, 3, 0.45, 0.25, 0.15).digest());
+}
+
+TEST(Generators, RmatRejectsBadParameters) {
+  EXPECT_THROW(rmat_graph(0, 8, 1), precondition_error);
+  EXPECT_THROW(rmat_graph(31, 8, 1), precondition_error);
+  EXPECT_THROW(rmat_graph(10, 0, 1), precondition_error);
+  EXPECT_THROW(rmat_graph(10, 8, 1, 0.5, 0.3, 0.2), precondition_error);
+}
+
+TEST(Generators, EmitRmatStreamMatchesRmatGraph) {
+  // The public emit_* core and the Graph-producing wrapper must describe
+  // the same graph: collecting the stream into an edge list and building
+  // via from_edges reproduces the streaming build bit-for-bit (digest).
+  const int scale = 9;
+  EdgeList collected;
+  emit_rmat(scale, 8, 7, [&](V u, V v) { collected.emplace_back(u, v); });
+  EXPECT_EQ(collected.size(), std::size_t{8} << scale);
+  const Graph via_list = Graph::from_edges(V{1} << scale, collected);
+  const Graph streamed = rmat_graph(scale, 8, 7);
+  EXPECT_EQ(via_list.digest(), streamed.digest());
+  EXPECT_EQ(via_list.edges(), streamed.edges());
+}
+
+TEST(Generators, EmitBarabasiAlbertStreamMatchesGraph) {
+  EdgeList collected;
+  emit_barabasi_albert(300, 4, 5, [&](V u, V v) { collected.emplace_back(u, v); });
+  const Graph via_list = Graph::from_edges(300, collected);
+  const Graph direct = barabasi_albert(300, 4, 5);
+  EXPECT_EQ(via_list.digest(), direct.digest());
+  EXPECT_EQ(via_list.edges(), direct.edges());
+}
+
+TEST(Generators, BarabasiAlbertScaleMatchesFlatParameterization) {
+  const Graph scaled = barabasi_albert_scale(8, 4, 5);
+  const Graph flat = barabasi_albert(V{1} << 8, 4, 5);
+  EXPECT_EQ(scaled.num_vertices(), 1 << 8);
+  EXPECT_EQ(scaled.digest(), flat.digest());
+  EXPECT_LE(degeneracy(scaled), 4);
+}
+
+TEST(Generators, StreamingBuildRoundTripsThroughEdgeList) {
+  // Every streaming-built family must equal its own edge-list rebuild:
+  // the two-pass CsrBuilder path and Graph::from_edges are bit-identical
+  // (digest covers n, degrees and canonical adjacency).
+  const Graph graphs[] = {
+      random_gnm(200, 500, 3),       random_gnp(200, 0.05, 3),
+      random_near_regular(200, 6, 3), planted_arboricity(200, 4, 3),
+      barabasi_albert(200, 5, 3),     random_geometric(200, 0.12, 3),
+      rmat_graph(8, 8, 3),            low_arboricity_high_degree(400, 3, 64, 3),
+  };
+  for (const Graph& g : graphs) {
+    const Graph rebuilt = Graph::from_edges(g.num_vertices(), g.edges());
+    EXPECT_EQ(rebuilt.digest(), g.digest());
+  }
+}
+
 }  // namespace
 }  // namespace dvc
