@@ -15,10 +15,12 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "bench_json.hpp"
@@ -99,6 +101,41 @@ inline LatencySummary summarize_ms(std::vector<double> samples) {
   s.p99_ms = percentile_sorted(samples, 99.0);
   return s;
 }
+
+/// Open-loop arrival pacer: the i-th arrival happens at start + i/rate,
+/// FIXED at construction -- arrivals do not slow down when the system
+/// saturates, which is what distinguishes open-loop load (a public queue:
+/// clients keep coming) from the closed-loop batch shape (each "client"
+/// waits for its previous job). Under open-loop overload the queue grows
+/// without bound unless admission control sheds; that makes this pacer the
+/// right driver for measuring shed rate and bounded-queue tail latency.
+class OpenLoopPacer {
+ public:
+  explicit OpenLoopPacer(double arrivals_per_sec)
+      : period_(1.0 / arrivals_per_sec), start_(Clock::now()) {}
+
+  /// Sleeps until the next scheduled arrival instant and consumes it.
+  /// Returns the lateness in ms (>= 0 when the caller fell behind the
+  /// schedule -- e.g. a blocking submit -- 0 when it was on time).
+  double wait_for_next_arrival() {
+    const auto due =
+        start_ + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(period_ *
+                                                   static_cast<double>(next_)));
+    ++next_;
+    const auto now = Clock::now();
+    if (now < due) {
+      std::this_thread::sleep_until(due);
+      return 0.0;
+    }
+    return std::chrono::duration<double, std::milli>(now - due).count();
+  }
+
+ private:
+  double period_;  // seconds between arrivals
+  Clock::time_point start_;
+  std::uint64_t next_ = 0;
+};
 
 /// Widest per-step payload burst of a phase (max of words_per_round).
 inline std::uint64_t peak_round_words(const sim::RunStats& stats) {

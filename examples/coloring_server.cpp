@@ -108,6 +108,36 @@ int main(int argc, char** argv) {
             << pool.warm_hits << " warm hits, " << pool.cold_builds
             << " cold builds, " << pool.idle_sessions << " idle\n";
 
+  // Result cache: resubmitting a spec already served answers from the cache
+  // without a run -- and the answer is bit-identical to the computed one.
+  {
+    service::JobSpec again;
+    again.graph = workloads[0].graph;
+    again.arboricity_bound = workloads[0].arboricity_bound;
+    again.preset = presets[0];
+    const service::JobResult hit = svc.wait(svc.submit(std::move(again)));
+    std::cout << "resubmitted an identical job: cache_hit="
+              << (hit.cache_hit ? "yes" : "NO") << " (" << hit.run_ms
+              << " ms)\n";
+    if (!hit.ok || !hit.cache_hit) return 1;
+  }
+
+  // Cancellation: a low-priority job with no urgency can be withdrawn; the
+  // race against completion is legal either way (here the queue is idle, so
+  // the job usually wins -- the point is the STRUCTURED outcome).
+  {
+    service::JobSpec casual;
+    casual.graph = workloads[1].graph;
+    casual.arboricity_bound = workloads[1].arboricity_bound;
+    casual.preset = presets[1];
+    casual.priority = service::Priority::kLow;
+    const service::JobTicket t = svc.submit(casual);
+    svc.cancel(t);
+    const service::JobResult res = svc.wait(t);
+    std::cout << "cancelled a queued job: status="
+              << service::job_status_name(res.status) << "\n";
+  }
+
   // The facade shape: one call through the service, result identical to the
   // direct API.
   const Graph tiny = planted_arboricity(2000, 4, 9);
@@ -117,8 +147,30 @@ int main(int argc, char** argv) {
   std::cout << "facade check: service colors=" << via_service.distinct
             << " direct colors=" << direct.distinct << " identical="
             << (via_service.colors == direct.colors ? "yes" : "NO") << "\n";
+
+  // The operational scrape a monitor would poll: queue state, policy
+  // counters, cache and warm-session hit ratios, per-preset latency tails.
+  const service::ServiceMetrics m = svc.metrics();
+  std::cout << "\nmetrics snapshot:\n"
+            << "  queue " << m.queue_depth << "/" << m.queue_capacity
+            << " (hi/norm/lo " << m.queue_depth_by_priority[0] << "/"
+            << m.queue_depth_by_priority[1] << "/"
+            << m.queue_depth_by_priority[2] << ")\n"
+            << "  jobs: " << m.submitted << " submitted, " << m.ok << " ok, "
+            << m.failed << " failed, " << m.shed << " shed, " << m.cancelled
+            << " cancelled, " << m.expired << " expired\n"
+            << "  cache: " << m.cache.hits << " hits / " << m.cache.misses
+            << " misses (ratio " << m.cache_hit_ratio << "), "
+            << m.cache.size << " entries\n"
+            << "  pool: warm-hit ratio " << m.warm_hit_ratio << ", "
+            << m.pool.evictions << " evictions\n";
+  for (const auto& pm : m.per_preset) {
+    std::cout << "  " << preset_name(pm.preset) << ": " << pm.jobs
+              << " jobs, run p50/p95/p99 " << pm.run.p50_ms << "/"
+              << pm.run.p95_ms << "/" << pm.run.p99_ms << " ms\n";
+  }
   return failed == 1 && ok == static_cast<int>(tickets.size()) - 1 &&
-                 via_service.colors == direct.colors
+                 via_service.colors == direct.colors && m.completed >= m.ok
              ? 0
              : 1;
 }

@@ -30,6 +30,10 @@ enum class Preset {
   DeltaPlusOneLowArb,
 };
 
+/// Number of Preset values (contiguous from 0). Sizes per-preset tables
+/// such as the service's latency metrics; keep in sync with the enum.
+inline constexpr int kNumPresets = 6;
+
 /// Worst-case per-message payload width over every VertexProgram on the
 /// paper path (the orient exchanges carry {group, key1, key2}); running a
 /// preset with Knobs::congest_words = kCongestWordsPaperPath executes it as
@@ -98,7 +102,12 @@ class ColoringService;
 /// worker pool on a warm session, blocking until the job completes. Results
 /// are bit-identical to the direct color_graph overloads for the same
 /// preset/knobs/shard count. A failed job rethrows as invariant_error
-/// carrying the job's structured error text. Defined in service/service.cpp.
+/// carrying the job's structured error text -- including a job shed by
+/// admission control on a saturated service (ServiceConfig::
+/// shed_on_saturation), whose structured `rejected` status surfaces here as
+/// that error. Repeated calls for the same (graph, preset, bound, knobs)
+/// are answered from the service's result cache without a run; cached
+/// results are bit-identical to fresh ones. Defined in service/service.cpp.
 LegalColoringResult color_graph(service::ColoringService& svc, const Graph& g,
                                 int arboricity_bound, Preset preset,
                                 const Knobs& knobs = Knobs{});

@@ -60,4 +60,9 @@ std::uint64_t GraphStore::misses() const {
   return misses_;
 }
 
+GraphStore::Stats GraphStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{by_digest_.size(), hits_, misses_};
+}
+
 }  // namespace dvc::service

@@ -58,6 +58,16 @@ class GraphStore {
   std::uint64_t hits() const;
   std::uint64_t misses() const;
 
+  /// One-lock consistent snapshot of the counters above, for the service's
+  /// metrics() scrape (three separate getters could tear across a
+  /// concurrent intern).
+  struct Stats {
+    std::size_t size = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const;
+
  private:
   GraphRef intern_shared(std::shared_ptr<const Graph> g);
 

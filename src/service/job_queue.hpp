@@ -1,18 +1,34 @@
 // Bounded MPMC queue for the coloring service's job pipeline.
 //
-// A fixed-capacity ring buffer guarded by one mutex and two condition
-// variables: producers block in push() while the ring is full (backpressure
-// -- the service's submission rate is bounded by its drain rate, so an
-// unbounded burst cannot exhaust memory), consumers block in pop() while it
-// is empty. try_push() is the non-blocking probe the service's try_submit()
-// exposes. close() wakes everybody: subsequent pushes fail, pops keep
-// returning queued items until the ring drains, then fail -- which is
-// exactly the graceful-shutdown order (stop accepting, finish what was
-// accepted, let workers exit).
+// A fixed-capacity queue guarded by one mutex and two condition variables:
+// producers block in push() while the queue is full (backpressure -- the
+// service's submission rate is bounded by its drain rate, so an unbounded
+// burst cannot exhaust memory), consumers block in pop() while it is empty.
+// try_push() is the non-blocking probe the service's try_submit() exposes.
+// close() wakes everybody: subsequent pushes fail, pops keep returning
+// queued items until the queue drains, then fail -- which is exactly the
+// graceful-shutdown order (stop accepting, finish what was accepted, let
+// workers exit).
+//
+// Priority lanes: the queue is templated on a lane count (default 1 = plain
+// FIFO). Each push names a lane; pop() always serves the lowest-numbered
+// non-empty lane, FIFO within a lane. The service maps Priority::kHigh/
+// kNormal/kLow onto lanes 0/1/2, so a high-priority job overtakes every
+// queued batch job without any re-sorting of the queue itself. The capacity
+// bound is shared across lanes (total queued items), which is what makes
+// admission control meaningful: a full queue is full for everybody, and the
+// shedding policy -- not lane growth -- decides who gets in.
+//
+// All notifications happen with the mutex RELEASED: a woken thread must
+// never find the lock still held by the notifier (the classic
+// hurry-up-and-wait pattern), which matters most for push_bulk waking a
+// whole consumer pool at once.
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -21,71 +37,108 @@
 
 namespace dvc::service {
 
-template <typename T>
+template <typename T, int Lanes = 1>
 class BoundedQueue {
+  static_assert(Lanes >= 1, "a queue needs at least one lane");
+
  public:
-  explicit BoundedQueue(std::size_t capacity) : ring_(capacity) {
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
     DVC_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
   }
 
-  std::size_t capacity() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
 
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return count_;
   }
 
+  /// Queued items per lane (index = lane), one consistent snapshot.
+  std::array<std::size_t, Lanes> lane_sizes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::array<std::size_t, Lanes> sizes{};
+    for (int l = 0; l < Lanes; ++l) sizes[static_cast<std::size_t>(l)] = lanes_[static_cast<std::size_t>(l)].size();
+    return sizes;
+  }
+
   /// Blocks while the queue is full. Returns false iff the queue was closed
   /// (the item is not enqueued).
-  bool push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
-    if (closed_) return false;
-    enqueue_locked(std::move(item));
-    lock.unlock();
+  bool push(T item, int lane = 0) {
+    check_lane(lane);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock, [&] { return count_ < capacity_ || closed_; });
+      if (closed_) return false;
+      enqueue_locked(std::move(item), lane);
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push. Returns false when the queue is full or closed.
-  bool try_push(T item) {
+  bool try_push(T item, int lane = 0) {
+    check_lane(lane);
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || count_ == ring_.size()) return false;
-      enqueue_locked(std::move(item));
+      if (closed_ || count_ == capacity_) return false;
+      enqueue_locked(std::move(item), lane);
     }
     not_empty_.notify_one();
     return true;
   }
 
   /// Enqueues every item, in order, blocking for space as needed (one lock
-  /// acquisition per free-space wakeup, not per item). Returns the number of
-  /// items enqueued -- fewer than items.size() only if the queue is closed
-  /// mid-batch.
-  std::size_t push_bulk(std::vector<T> items) {
+  /// acquisition per free-space wakeup, not per item). `lane_of(item)` names
+  /// each item's lane. Returns the number of items enqueued -- fewer than
+  /// items.size() only if the queue is closed mid-batch.
+  template <typename LaneFn>
+  std::size_t push_bulk(std::vector<T> items, LaneFn&& lane_of) {
     std::size_t pushed = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     while (pushed < items.size()) {
-      not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
+      not_full_.wait(lock, [&] { return count_ < capacity_ || closed_; });
       if (closed_) break;
-      while (pushed < items.size() && count_ < ring_.size()) {
-        enqueue_locked(std::move(items[pushed++]));
+      std::size_t batch = 0;
+      while (pushed < items.size() && count_ < capacity_) {
+        const int lane = lane_of(items[pushed]);
+        check_lane(lane);
+        enqueue_locked(std::move(items[pushed++]), lane);
+        ++batch;
       }
-      not_empty_.notify_all();
+      // Notify with the mutex released, matching push()/pop(): notifying
+      // under the lock would wake consumers straight into a futile block on
+      // the mutex the notifier still holds (hurry-up-and-wait).
+      lock.unlock();
+      if (batch == 1) {
+        not_empty_.notify_one();
+      } else {
+        not_empty_.notify_all();
+      }
+      lock.lock();
     }
     return pushed;
   }
 
+  std::size_t push_bulk(std::vector<T> items) {
+    return push_bulk(std::move(items), [](const T&) { return 0; });
+  }
+
   /// Blocks while the queue is empty and open. Returns false iff the queue
-  /// is closed AND drained; queued items keep flowing after close().
+  /// is closed AND drained; queued items keep flowing after close(). Serves
+  /// the lowest-numbered non-empty lane, FIFO within it.
   bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
-    if (count_ == 0) return false;  // closed and drained
-    out = std::move(ring_[head_]);
-    head_ = (head_ + 1) % ring_.size();
-    --count_;
-    lock.unlock();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+      if (count_ == 0) return false;  // closed and drained
+      for (auto& lane : lanes_) {
+        if (lane.empty()) continue;
+        out = std::move(lane.front());
+        lane.pop_front();
+        --count_;
+        break;
+      }
+    }
     not_full_.notify_one();
     return true;
   }
@@ -105,15 +158,19 @@ class BoundedQueue {
   }
 
  private:
-  void enqueue_locked(T item) {
-    ring_[(head_ + count_) % ring_.size()] = std::move(item);
+  static void check_lane(int lane) {
+    DVC_REQUIRE(lane >= 0 && lane < Lanes, "queue lane out of range");
+  }
+
+  void enqueue_locked(T item, int lane) {
+    lanes_[static_cast<std::size_t>(lane)].push_back(std::move(item));
     ++count_;
   }
 
   mutable std::mutex mutex_;
   std::condition_variable not_full_, not_empty_;
-  std::vector<T> ring_;
-  std::size_t head_ = 0;
+  std::array<std::deque<T>, Lanes> lanes_;
+  std::size_t capacity_;
   std::size_t count_ = 0;
   bool closed_ = false;
 };

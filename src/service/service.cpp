@@ -1,5 +1,8 @@
 #include "service/service.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
 #include <utility>
 
 #include "common/check.hpp"
@@ -13,7 +16,69 @@ double ms_between(std::chrono::steady_clock::time_point from,
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+/// Internal throw type the interrupt hook uses to abandon a run at a phase
+/// boundary. Deliberately NOT a std::exception: nothing between the hook
+/// and execute()'s handler should be able to swallow it as a generic error.
+struct job_interrupt {
+  JobStatus status;
+  const char* what;
+};
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  // +0.0 and -0.0 compare equal but differ bitwise; normalize so the two
+  // spellings of "zero knob" share a fingerprint.
+  if (v == 0.0) v = 0.0;
+  return detail::digest_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+double percentile_sorted_ms(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank, matching bench_stats.hpp: ceil(q * n) clamped to [1, n].
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
 }  // namespace
+
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "unknown";
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kExpired: return "expired";
+  }
+  return "unknown";
+}
+
+std::uint64_t knob_fingerprint(const Knobs& knobs, int effective_shards) {
+  using detail::digest_mix;
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;  // golden-ratio seed
+  h = mix_double(h, knobs.mu);
+  h = mix_double(h, knobs.eta);
+  h = digest_mix(h, static_cast<std::uint64_t>(knobs.t));
+  h = digest_mix(h, static_cast<std::uint64_t>(knobs.f));
+  h = mix_double(h, knobs.eps);
+  h = digest_mix(h, static_cast<std::uint64_t>(knobs.congest_words));
+  h = digest_mix(h, static_cast<std::uint64_t>(knobs.scheduler));
+  // Shards and scheduler are proven output-invariant (the determinism suite
+  // pins bit-identity across both), so folding them in can only split cache
+  // entries, never corrupt one -- the conservative direction.
+  h = digest_mix(h, static_cast<std::uint64_t>(effective_shards));
+  return h;
+}
 
 // ---------------------------------------------------------------------------
 // SessionPool
@@ -29,6 +94,7 @@ SessionPool::Entry SessionPool::acquire(const GraphRef& graph, int shards) {
     if (it != idle_.end() && !it->second.empty()) {
       Entry entry = std::move(it->second.back());
       it->second.pop_back();
+      --total_idle_;
       ++warm_hits_;
       entry.warm = true;
       return entry;
@@ -104,6 +170,45 @@ SessionPool::Stats SessionPool::stats() const {
 }
 
 // ---------------------------------------------------------------------------
+// ResultCache
+
+std::shared_ptr<const LegalColoringResult> ResultCache::lookup(const Key& key) {
+  if (capacity_ == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  it->second.last_used = ++tick_;
+  return it->second.value;
+}
+
+void ResultCache::insert(const Key& key,
+                         std::shared_ptr<const LegalColoringResult> value) {
+  if (capacity_ == 0) return;
+  DVC_REQUIRE(value != nullptr, "cannot cache a null result");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = map_.try_emplace(key);
+  it->second.value = std::move(value);
+  it->second.last_used = ++tick_;
+  if (inserted && map_.size() > capacity_) {
+    auto victim = map_.begin();
+    for (auto cur = map_.begin(); cur != map_.end(); ++cur) {
+      if (cur->second.last_used < victim->second.last_used) victim = cur;
+    }
+    map_.erase(victim);
+    ++evictions_;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, evictions_, map_.size()};
+}
+
+// ---------------------------------------------------------------------------
 // ColoringService
 
 ColoringService::ColoringService(ServiceConfig config)
@@ -112,15 +217,24 @@ ColoringService::ColoringService(ServiceConfig config)
         DVC_REQUIRE(config.queue_capacity >= 1, "queue capacity must be >= 1");
         DVC_REQUIRE(config.default_shards >= 1,
                     "default shard count must be >= 1");
-        if (config.max_idle_sessions_per_key <= 0) {
+        // 0 means "use the default"; a negative cap is a caller bug, not a
+        // request for the default -- reject it loudly rather than mask it.
+        DVC_REQUIRE(config.max_idle_sessions_per_key >= 0,
+                    "max_idle_sessions_per_key must be >= 0");
+        DVC_REQUIRE(config.max_idle_sessions_total >= 0,
+                    "max_idle_sessions_total must be >= 0");
+        DVC_REQUIRE(config.result_cache_capacity >= 0,
+                    "result_cache_capacity must be >= 0");
+        if (config.max_idle_sessions_per_key == 0) {
           config.max_idle_sessions_per_key = config.workers;
         }
-        if (config.max_idle_sessions_total <= 0) {
+        if (config.max_idle_sessions_total == 0) {
           config.max_idle_sessions_total = 4 * config.workers;
         }
         return config;
       }()),
       pool_(config_.max_idle_sessions_per_key, config_.max_idle_sessions_total),
+      cache_(static_cast<std::size_t>(config_.result_cache_capacity)),
       queue_(config_.queue_capacity),
       paused_(config_.start_paused) {
   workers_.reserve(static_cast<std::size_t>(config_.workers));
@@ -131,26 +245,100 @@ ColoringService::ColoringService(ServiceConfig config)
 
 ColoringService::~ColoringService() { shutdown(); }
 
-JobTicket ColoringService::make_job(JobSpec& spec, Job& out) {
-  DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  DVC_REQUIRE(accepting_, "service is shut down");
+const char* ColoringService::admission_reject_locked(const JobSpec& spec,
+                                                     std::size_t backlog) const {
+  // Only meaningful with shedding enabled; kHigh never sheds -- it keeps
+  // the blocking backpressure path and always gets in.
+  if (spec.priority == Priority::kHigh) return nullptr;
+  const std::size_t queued = queue_.size() + backlog;
+  if (queued >= config_.queue_capacity) {
+    return "queue saturated: job shed by admission control";
+  }
+  if (spec.priority == Priority::kLow &&
+      queued * 4 >= config_.queue_capacity * 3) {
+    // Past the high-water mark, shed kLow jobs of the DOMINANT digest
+    // class: if one topology already owns half the queue, its bulk work
+    // yields to everyone else's before the queue is hard-full.
+    const auto it = digest_queued_.find(spec.graph.digest);
+    if (it != digest_queued_.end() && it->second * 2 >= queued) {
+      return "queue past high-water mark: dominant digest class shed";
+    }
+  }
+  return nullptr;
+}
+
+JobTicket ColoringService::admit_locked(JobSpec& spec, Job& out) {
   out.id = next_id_++;
   out.spec = std::move(spec);
   out.enqueued_at = std::chrono::steady_clock::now();
+  out.cancel = std::make_shared<std::atomic<bool>>(false);
+  cancel_tokens_.emplace(out.id, out.cancel);
+  ++digest_queued_[out.spec.graph.digest];
   ++submitted_;
   return JobTicket{out.id};
 }
 
+void ColoringService::forget_queued_locked(const Job& job) {
+  const auto it = digest_queued_.find(job.spec.graph.digest);
+  if (it != digest_queued_.end() && --it->second == 0) digest_queued_.erase(it);
+}
+
 JobTicket ColoringService::submit(JobSpec spec) {
+  DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
+  DVC_REQUIRE(spec.deadline_ms >= 0.0, "deadline must be >= 0 ms");
   Job job;
-  const JobTicket ticket = make_job(spec, job);
-  if (!queue_.push(std::move(job))) {
+  JobTicket ticket;
+  const char* rejection = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    DVC_REQUIRE(accepting_, "service is shut down");
+    if (config_.shed_on_saturation) {
+      rejection = admission_reject_locked(spec, 0);
+    }
+    if (rejection != nullptr) {
+      // Shed: reserve the id (the ticket stays claimable like any other)
+      // but skip the queue-side bookkeeping -- the job never queues.
+      job.id = next_id_++;
+      job.spec = std::move(spec);
+      ticket = JobTicket{job.id};
+      ++submitted_;
+    } else {
+      ticket = admit_locked(spec, job);
+    }
+  }
+  if (rejection != nullptr) {
+    JobResult shed;
+    shed.id = ticket.id;
+    shed.status = JobStatus::kRejected;
+    shed.error = rejection;
+    shed.graph_digest = job.spec.graph.digest;
+    shed.preset = job.spec.preset;
+    shed.priority = job.spec.priority;
+    deliver(std::move(shed));
+    return ticket;
+  }
+  const int lane = static_cast<int>(job.spec.priority);
+  const std::uint64_t id = ticket.id;
+  const Priority priority = job.spec.priority;
+  const std::uint64_t digest = job.spec.graph.digest;
+  const Preset preset = job.spec.preset;
+  if (!queue_.push(std::move(job), lane)) {
     // Shutdown raced the enqueue: fail the job structurally so the ticket
     // stays claimable and drain() still converges.
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      const auto it = digest_queued_.find(digest);
+      if (it != digest_queued_.end() && --it->second == 0) {
+        digest_queued_.erase(it);
+      }
+    }
     JobResult failed;
-    failed.id = ticket.id;
+    failed.id = id;
+    failed.status = JobStatus::kFailed;
     failed.error = "service shut down before the job was queued";
+    failed.graph_digest = digest;
+    failed.preset = preset;
+    failed.priority = priority;
     deliver(std::move(failed));
   }
   return ticket;
@@ -158,19 +346,28 @@ JobTicket ColoringService::submit(JobSpec spec) {
 
 std::optional<JobTicket> ColoringService::try_submit(JobSpec spec) {
   DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
+  DVC_REQUIRE(spec.deadline_ms >= 0.0, "deadline must be >= 0 ms");
   // The id/submitted_ reservation and the non-blocking enqueue happen under
   // one state-lock hold: reserving first and rolling back on a full queue
   // would let a concurrent drain() capture a submitted_ target that no job
   // will ever complete (and wait forever). Lock order state -> queue is
-  // safe: no path acquires them in the opposite nesting.
+  // safe: no path acquires them in the opposite nesting. try_submit
+  // bypasses the shedding policy by design -- the caller IS the admission
+  // control here, and a full queue answers nullopt either way.
   std::lock_guard<std::mutex> lock(state_mutex_);
   DVC_REQUIRE(accepting_, "service is shut down");
   Job job;
   job.id = next_id_;
   job.spec = std::move(spec);
   job.enqueued_at = std::chrono::steady_clock::now();
-  if (!queue_.try_push(std::move(job))) return std::nullopt;
+  job.cancel = std::make_shared<std::atomic<bool>>(false);
+  const int lane = static_cast<int>(job.spec.priority);
+  const std::uint64_t digest = job.spec.graph.digest;
+  auto token = job.cancel;
+  if (!queue_.try_push(std::move(job), lane)) return std::nullopt;
   const JobTicket ticket{next_id_};
+  cancel_tokens_.emplace(next_id_, std::move(token));
+  ++digest_queued_[digest];
   ++next_id_;
   ++submitted_;
   return ticket;
@@ -181,27 +378,67 @@ std::vector<JobTicket> ColoringService::submit_batch(std::vector<JobSpec> specs)
   tickets.reserve(specs.size());
   std::vector<Job> jobs;
   jobs.reserve(specs.size());
+  std::vector<JobResult> rejected;
+  // (id, digest) per admitted job in queue order, for shutdown-race rollback.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> admitted_ids;
+  admitted_ids.reserve(specs.size());
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     DVC_REQUIRE(accepting_, "service is shut down");
-    const auto now = std::chrono::steady_clock::now();
     for (JobSpec& spec : specs) {
       DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
+      DVC_REQUIRE(spec.deadline_ms >= 0.0, "deadline must be >= 0 ms");
+      const char* rejection =
+          config_.shed_on_saturation
+              ? admission_reject_locked(spec, jobs.size())
+              : nullptr;
+      if (rejection != nullptr) {
+        JobResult shed;
+        shed.id = next_id_++;
+        shed.status = JobStatus::kRejected;
+        shed.error = rejection;
+        shed.graph_digest = spec.graph.digest;
+        shed.preset = spec.preset;
+        shed.priority = spec.priority;
+        tickets.push_back(JobTicket{shed.id});
+        ++submitted_;
+        rejected.push_back(std::move(shed));
+        continue;
+      }
       Job job;
-      job.id = next_id_++;
-      job.spec = std::move(spec);
-      job.enqueued_at = now;
-      tickets.push_back(JobTicket{job.id});
+      tickets.push_back(admit_locked(spec, job));
+      admitted_ids.emplace_back(job.id, job.spec.graph.digest);
       jobs.push_back(std::move(job));
     }
-    submitted_ += jobs.size();
   }
-  const std::size_t pushed = queue_.push_bulk(std::move(jobs));
-  for (std::size_t i = pushed; i < tickets.size(); ++i) {
-    JobResult failed;
-    failed.id = tickets[i].id;
-    failed.error = "service shut down before the job was queued";
-    deliver(std::move(failed));
+  for (JobResult& shed : rejected) deliver(std::move(shed));
+  // Bulk enqueue outside the state lock: push_bulk may block for space, and
+  // blocking while holding state_mutex_ would stall wait()/poll()/metrics().
+  const std::size_t pushed = queue_.push_bulk(
+      std::move(jobs),
+      [](const Job& j) { return static_cast<int>(j.spec.priority); });
+  // Jobs enqueue in admitted_ids order, so exactly the tail beyond `pushed`
+  // never reached the queue (possible only on a shutdown race). Fail each
+  // structurally so every ticket stays claimable and drain() converges.
+  if (pushed < admitted_ids.size()) {
+    {
+      // Roll back the digest-class occupancy admit_locked recorded (the
+      // cancel token is erased by deliver below).
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      for (std::size_t i = pushed; i < admitted_ids.size(); ++i) {
+        const auto it = digest_queued_.find(admitted_ids[i].second);
+        if (it != digest_queued_.end() && --it->second == 0) {
+          digest_queued_.erase(it);
+        }
+      }
+    }
+    for (std::size_t i = pushed; i < admitted_ids.size(); ++i) {
+      JobResult failed;
+      failed.id = admitted_ids[i].first;
+      failed.status = JobStatus::kFailed;
+      failed.error = "service shut down before the job was queued";
+      deliver(std::move(failed));
+    }
   }
   return tickets;
 }
@@ -217,10 +454,16 @@ void ColoringService::mark_claimed_locked(std::uint64_t id) {
   while (claimed_above_floor_.erase(claimed_floor_ + 1) > 0) ++claimed_floor_;
 }
 
+void ColoringService::require_known_locked(std::uint64_t id) const {
+  DVC_REQUIRE(id >= 1, "invalid ticket");
+  // A ticket this service never issued (from another instance, or a stale
+  // id after restart) must fail fast: waiting on it would sleep forever.
+  DVC_REQUIRE(id < next_id_, "unknown ticket");
+}
+
 JobResult ColoringService::wait(JobTicket ticket) {
-  DVC_REQUIRE(ticket.id >= 1, "invalid ticket");
   std::unique_lock<std::mutex> lock(state_mutex_);
-  DVC_REQUIRE(ticket.id < next_id_, "unknown ticket");
+  require_known_locked(ticket.id);
   DVC_REQUIRE(!claimed_locked(ticket.id), "ticket already claimed");
   // Also wake when a racing claimant wins, so the loser throws instead of
   // sleeping forever on a result that will never reappear.
@@ -236,9 +479,8 @@ JobResult ColoringService::wait(JobTicket ticket) {
 }
 
 std::optional<JobResult> ColoringService::poll(JobTicket ticket) {
-  DVC_REQUIRE(ticket.id >= 1, "invalid ticket");
   std::unique_lock<std::mutex> lock(state_mutex_);
-  DVC_REQUIRE(ticket.id < next_id_, "unknown ticket");
+  require_known_locked(ticket.id);
   DVC_REQUIRE(!claimed_locked(ticket.id), "ticket already claimed");
   auto node = results_.extract(ticket.id);
   if (node.empty()) return std::nullopt;
@@ -246,6 +488,17 @@ std::optional<JobResult> ColoringService::poll(JobTicket ticket) {
   lock.unlock();
   result_cv_.notify_all();
   return std::move(node.mapped());
+}
+
+bool ColoringService::cancel(JobTicket ticket) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  require_known_locked(ticket.id);
+  // Result already delivered (claimed or still parked): too late to cancel.
+  if (claimed_locked(ticket.id) || results_.contains(ticket.id)) return false;
+  const auto it = cancel_tokens_.find(ticket.id);
+  if (it == cancel_tokens_.end()) return false;  // never admitted (rejected)
+  it->second->store(true, std::memory_order_relaxed);
+  return true;
 }
 
 void ColoringService::drain() {
@@ -291,6 +544,73 @@ std::uint64_t ColoringService::completed() const {
   return completed_;
 }
 
+void ColoringService::LatencyRing::add(double ms) {
+  if (samples.size() < kLatencyWindow) {
+    samples.push_back(ms);
+  } else {
+    samples[next] = ms;
+  }
+  next = (next + 1) % kLatencyWindow;
+}
+
+LatencyQuantiles ColoringService::LatencyRing::quantiles() const {
+  LatencyQuantiles q;
+  q.count = samples.size();
+  if (samples.empty()) return q;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  q.p50_ms = percentile_sorted_ms(sorted, 0.50);
+  q.p95_ms = percentile_sorted_ms(sorted, 0.95);
+  q.p99_ms = percentile_sorted_ms(sorted, 0.99);
+  return q;
+}
+
+ServiceMetrics ColoringService::metrics() const {
+  ServiceMetrics m;
+  // Queue first (its own lock), then the state lock: consistent enough for
+  // monitoring, and never nests queue -> state (the forbidden order).
+  m.queue_capacity = queue_.capacity();
+  const auto lane_sizes = queue_.lane_sizes();
+  m.queue_depth = 0;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    m.queue_depth_by_priority[static_cast<std::size_t>(p)] =
+        lane_sizes[static_cast<std::size_t>(p)];
+    m.queue_depth += lane_sizes[static_cast<std::size_t>(p)];
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    m.submitted = submitted_;
+    m.completed = completed_;
+    m.ok = ok_;
+    m.failed = failed_;
+    m.shed = shed_;
+    m.cancelled = cancelled_;
+    m.expired = expired_;
+    for (int p = 0; p < kNumPresets; ++p) {
+      const PresetTrack& track = per_preset_[static_cast<std::size_t>(p)];
+      if (track.jobs == 0) continue;
+      ServiceMetrics::PresetMetrics pm;
+      pm.preset = static_cast<Preset>(p);
+      pm.jobs = track.jobs;
+      pm.run = track.run.quantiles();
+      pm.queue = track.queue.quantiles();
+      m.per_preset.push_back(std::move(pm));
+    }
+  }
+  m.cache = cache_.stats();
+  if (m.cache.hits + m.cache.misses > 0) {
+    m.cache_hit_ratio = static_cast<double>(m.cache.hits) /
+                        static_cast<double>(m.cache.hits + m.cache.misses);
+  }
+  m.pool = pool_.stats();
+  if (m.pool.acquires > 0) {
+    m.warm_hit_ratio = static_cast<double>(m.pool.warm_hits) /
+                       static_cast<double>(m.pool.acquires);
+  }
+  m.store = store_.stats();
+  return m;
+}
+
 void ColoringService::worker_loop() {
   for (;;) {
     {
@@ -299,6 +619,12 @@ void ColoringService::worker_loop() {
     }
     Job job;
     if (!queue_.pop(job)) return;  // closed and drained
+    {
+      // The job left the queue: its digest class no longer occupies queue
+      // space, so the shedding policy must stop counting it.
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      forget_queued_locked(job);
+    }
     deliver(execute(std::move(job)));
   }
 }
@@ -308,12 +634,48 @@ JobResult ColoringService::execute(Job job) {
   JobResult res;
   res.id = job.id;
   res.preset = spec.preset;
+  res.priority = spec.priority;
   res.graph_digest = spec.graph.digest;
   const int shards =
       spec.knobs.shards > 0 ? spec.knobs.shards : config_.default_shards;
   res.shards = shards;
   const auto started = std::chrono::steady_clock::now();
   res.queue_ms = ms_between(job.enqueued_at, started);
+  const bool has_deadline = spec.deadline_ms > 0.0;
+  const auto deadline =
+      job.enqueued_at +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(spec.deadline_ms));
+  // Structural short-circuits before any session work: a cancelled or
+  // already-expired job must not consume a run.
+  if (job.cancel && job.cancel->load(std::memory_order_relaxed)) {
+    res.status = JobStatus::kCancelled;
+    res.error = "job cancelled before execution";
+    res.run_ms = ms_between(started, std::chrono::steady_clock::now());
+    return res;
+  }
+  if (has_deadline && started >= deadline) {
+    res.status = JobStatus::kExpired;
+    res.error = "deadline expired while the job was queued";
+    res.run_ms = ms_between(started, std::chrono::steady_clock::now());
+    return res;
+  }
+  // Result cache: an identical (graph, preset, bound, knobs) job was
+  // already computed -- answer without a run. Cached values are shared
+  // immutable results, so the copy into res is bitwise what the original
+  // run produced (the bit-identity tests pin this).
+  const ResultCache::Key cache_key{spec.graph.digest,
+                                   static_cast<int>(spec.preset),
+                                   spec.arboricity_bound,
+                                   knob_fingerprint(spec.knobs, shards)};
+  if (auto cached = cache_.lookup(cache_key)) {
+    res.result = *cached;
+    res.status = JobStatus::kOk;
+    res.ok = true;
+    res.cache_hit = true;
+    res.run_ms = ms_between(started, std::chrono::steady_clock::now());
+    return res;
+  }
   try {
     SessionPool::Entry entry = pool_.acquire(spec.graph, shards);
     res.warm_session = entry.warm;
@@ -323,22 +685,48 @@ JobResult ColoringService::execute(Job job) {
     // pool reuse invisible to callers.
     entry.rt->reset_log();
     try {
+      // Phase-boundary interruption: the hook runs at the top of every
+      // run_phase, BETWEEN phases, never inside a round -- so an abandoned
+      // run leaves no half-executed phase behind and the recorded phases of
+      // a completed run are untouched by polling. Throwing job_interrupt
+      // unwinds out of the pipeline; the session stays sound and returns to
+      // the pool below like any other throwing job.
+      sim::ScopedInterrupt guard(*entry.rt, [&] {
+        if (job.cancel && job.cancel->load(std::memory_order_relaxed)) {
+          throw job_interrupt{JobStatus::kCancelled,
+                              "job cancelled at a phase boundary"};
+        }
+        if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+          throw job_interrupt{JobStatus::kExpired,
+                              "deadline expired at a phase boundary"};
+        }
+      });
       res.result = color_graph(*entry.rt, spec.arboricity_bound, spec.preset,
                                spec.knobs);
+      res.status = JobStatus::kOk;
       res.ok = true;
     } catch (...) {
       // A throwing job fails only itself. The session is still structurally
-      // sound (the runtime clears shard exception state when it rethrows),
-      // so it goes back to the pool -- a poisoned job must never shrink
+      // sound (the runtime clears shard exception state when it rethrows,
+      // and interrupts fire only between phases), so it goes back to the
+      // pool -- a poisoned, cancelled or expired job must never shrink
       // serving capacity.
       pool_.release(std::move(entry));
       throw;
     }
     pool_.release(std::move(entry));
+    cache_.insert(cache_key, std::make_shared<const LegalColoringResult>(
+                                 res.result));
+  } catch (const job_interrupt& stop) {
+    res.status = stop.status;
+    res.ok = false;
+    res.error = stop.what;
   } catch (const std::exception& e) {
+    res.status = JobStatus::kFailed;
     res.ok = false;
     res.error = e.what();
   } catch (...) {
+    res.status = JobStatus::kFailed;
     res.ok = false;
     res.error = "unknown exception";
   }
@@ -349,6 +737,22 @@ JobResult ColoringService::execute(Job job) {
 void ColoringService::deliver(JobResult result) {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
+    switch (result.status) {
+      case JobStatus::kOk: {
+        ++ok_;
+        PresetTrack& track =
+            per_preset_[static_cast<std::size_t>(result.preset)];
+        ++track.jobs;
+        track.run.add(result.run_ms);
+        track.queue.add(result.queue_ms);
+        break;
+      }
+      case JobStatus::kFailed: ++failed_; break;
+      case JobStatus::kRejected: ++shed_; break;
+      case JobStatus::kCancelled: ++cancelled_; break;
+      case JobStatus::kExpired: ++expired_; break;
+    }
+    cancel_tokens_.erase(result.id);
     results_.emplace(result.id, std::move(result));
     ++completed_;
   }
@@ -361,7 +765,8 @@ void ColoringService::deliver(JobResult result) {
 // ---------------------------------------------------------------------------
 // Service-aware facade (declared in core/api.hpp): one-call submit + wait
 // through a shared service, so callers holding a ColoringService get the
-// familiar color_graph shape with interning and warm sessions for free.
+// familiar color_graph shape with interning, warm sessions and the result
+// cache for free.
 
 namespace dvc {
 
@@ -383,7 +788,11 @@ LegalColoringResult color_graph(service::ColoringService& svc, const Graph& g,
   spec.preset = preset;
   spec.knobs = knobs;
   service::JobResult res = svc.wait(svc.submit(std::move(spec)));
-  if (!res.ok) throw invariant_error("service job failed: " + res.error);
+  if (!res.ok) {
+    throw invariant_error(std::string("service job ") +
+                          service::job_status_name(res.status) + ": " +
+                          res.error);
+  }
   return std::move(res.result);
 }
 

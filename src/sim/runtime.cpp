@@ -732,6 +732,13 @@ void Runtime::dispatch(Job job) {
 const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
                                    std::string_view label) {
   MachineryScope machinery;
+  // Phase-boundary interrupt poll: a cancelled/expired job aborts here by
+  // throwing, before this phase touches any session state -- the session
+  // stays warm and reusable, the already-recorded phases stay untouched.
+  if (interrupt_) {
+    ProgramScope callback;
+    interrupt_();
+  }
   const V n = g_->num_vertices();
   // Per-phase reset without freeing: every container below keeps its
   // capacity from earlier phases of this session. Epoch arenas are not

@@ -456,6 +456,20 @@ class Runtime {
     observer_ = std::move(observer);
   }
 
+  /// Per-session interrupt hook, polled at every PHASE boundary -- the top
+  /// of run_phase, before any phase state is touched. The hook aborts the
+  /// pipeline by THROWING; the exception propagates out of run_phase and the
+  /// session stays structurally sound and reusable, exactly as after a
+  /// program error (the service layer points the hook at a job's
+  /// cancellation token and deadline, so a cancelled or expired multi-phase
+  /// pipeline is abandoned between phases and its session returns to the
+  /// pool). Never polled mid-round: a phase that starts always runs to
+  /// completion, so the hook cannot perturb the determinism of any recorded
+  /// phase. Pass nullptr to clear; sessions handed across jobs must clear it
+  /// (see ScopedInterrupt).
+  void set_interrupt(std::function<void()> hook) { interrupt_ = std::move(hook); }
+  bool has_interrupt() const { return static_cast<bool>(interrupt_); }
+
   /// Worker threads owned by this session (== shards() - 1; spawned once at
   /// construction, parked between phases).
   int pool_threads() const { return static_cast<int>(threads_.size()); }
@@ -665,6 +679,7 @@ class Runtime {
   RunStats stats_;
   PhaseLog log_;
   std::function<void(int)> observer_;
+  std::function<void()> interrupt_;
   /// Session CONGEST budget (0 = LOCAL) and the per-phase effective
   /// per-message cap derived from it and the program contract: the
   /// tighter of the two positives, or int64 max when both are 0.
@@ -742,6 +757,23 @@ class ScopedScheduler {
   Runtime* rt_;
   Scheduler previous_;
   bool active_;
+};
+
+/// Scoped install of a session's phase-boundary interrupt hook, cleared on
+/// destruction (including unwinding out of the hook's own throw) -- so a
+/// pooled session handed to the next job can never inherit the previous
+/// job's cancellation token or deadline.
+class ScopedInterrupt {
+ public:
+  ScopedInterrupt(Runtime& rt, std::function<void()> hook) : rt_(&rt) {
+    rt_->set_interrupt(std::move(hook));
+  }
+  ~ScopedInterrupt() { rt_->set_interrupt(nullptr); }
+  ScopedInterrupt(const ScopedInterrupt&) = delete;
+  ScopedInterrupt& operator=(const ScopedInterrupt&) = delete;
+
+ private:
+  Runtime* rt_;
 };
 
 /// Scoped override of a session's CONGEST word budget; `words` <= 0 leaves

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -351,6 +352,9 @@ TEST(Service, PoisonedJobFailsAloneAndSessionStaysServing) {
 
   ServiceConfig config;
   config.workers = 1;  // serialize: poison and repair share ONE session
+  // The round-4 repeat must actually RUN on the pooled session (that is the
+  // point of this test), not be answered from the result cache.
+  config.result_cache_capacity = 0;
   ColoringService svc(config);
   const GraphRef g = svc.intern(m.g);
 
@@ -493,6 +497,369 @@ TEST(Service, GlobalIdleSessionCapBoundsThePool) {
   EXPECT_LE(pool.idle_sessions,
             static_cast<std::size_t>(config.max_idle_sessions_total));
   EXPECT_GT(pool.evictions, 0u) << "8 keys through a 2-session pool must evict";
+}
+
+// ---------------------------------------------------------------------------
+// PR 8: policy surface -- config validation, priority lanes, cancellation,
+// deadlines, admission shedding, result cache, metrics.
+
+TEST(BoundedQueue, LanesServeHighestPriorityFirst) {
+  BoundedQueue<int, 3> q(8);
+  // Interleave pushes across lanes; pop must serve lane 0, then 1, then 2,
+  // FIFO within each lane, regardless of arrival order.
+  EXPECT_TRUE(q.push(20, 2));
+  EXPECT_TRUE(q.push(10, 1));
+  EXPECT_TRUE(q.push(0, 0));
+  EXPECT_TRUE(q.push(21, 2));
+  EXPECT_TRUE(q.push(1, 0));
+  EXPECT_TRUE(q.push(11, 1));
+  const auto sizes = q.lane_sizes();
+  EXPECT_EQ(sizes[0], 2u);
+  EXPECT_EQ(sizes[1], 2u);
+  EXPECT_EQ(sizes[2], 2u);
+  int out = 0;
+  for (const int want : {0, 1, 10, 11, 20, 21}) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_THROW(q.push(5, 3), precondition_error) << "lane out of range";
+  EXPECT_THROW(q.push(5, -1), precondition_error);
+}
+
+TEST(BoundedQueue, PushBulkRoutesLanesByItem) {
+  BoundedQueue<int, 2> q(16);
+  std::vector<int> items = {1, 100, 2, 101, 3};
+  // Odd hundreds go to the low lane, the rest ride lane 0.
+  EXPECT_EQ(q.push_bulk(std::move(items),
+                        [](const int v) { return v >= 100 ? 1 : 0; }),
+            5u);
+  int out = 0;
+  for (const int want : {1, 2, 3, 100, 101}) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, want);
+  }
+}
+
+TEST(Service, ConfigValidationRejectsNonsense) {
+  EXPECT_THROW(ColoringService(ServiceConfig{.workers = 0}),
+               precondition_error);
+  EXPECT_THROW(ColoringService(ServiceConfig{.workers = -3}),
+               precondition_error);
+  EXPECT_THROW(ColoringService(ServiceConfig{.queue_capacity = 0}),
+               precondition_error);
+  EXPECT_THROW(ColoringService(ServiceConfig{.default_shards = 0}),
+               precondition_error);
+  EXPECT_THROW(ColoringService(ServiceConfig{.max_idle_sessions_per_key = -1}),
+               precondition_error)
+      << "a negative cap is a caller bug, not a request for the default";
+  EXPECT_THROW(ColoringService(ServiceConfig{.max_idle_sessions_total = -7}),
+               precondition_error);
+  EXPECT_THROW(ColoringService(ServiceConfig{.result_cache_capacity = -1}),
+               precondition_error);
+  // Zero caps still mean "use the default", derived from workers.
+  ColoringService svc(ServiceConfig{.workers = 3});
+  EXPECT_EQ(svc.config().max_idle_sessions_per_key, 3);
+  EXPECT_EQ(svc.config().max_idle_sessions_total, 12);
+}
+
+TEST(Service, NeverIssuedTicketsThrowEverywhere) {
+  ColoringService svc(ServiceConfig{.workers = 1});
+  const GraphRef g = svc.intern(planted_arboricity(150, 3, 29));
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = 3;
+  const JobTicket real = svc.submit(spec);
+  // ids at or above next_id_ were never issued by THIS service: waiting on
+  // one would sleep forever, so every claim surface fails fast instead.
+  const JobTicket phantom{real.id + 1};
+  EXPECT_THROW(svc.wait(phantom), precondition_error);
+  EXPECT_THROW(svc.poll(phantom), precondition_error);
+  EXPECT_THROW(svc.cancel(phantom), precondition_error);
+  EXPECT_THROW(svc.wait(JobTicket{0}), precondition_error);
+  EXPECT_TRUE(svc.wait(real).ok) << "the real ticket is unaffected";
+}
+
+TEST(Service, CancelBeforeDequeueFailsStructurally) {
+  const Mixed& m = mixed_graphs()[0];
+  Knobs solo_knobs;
+  solo_knobs.shards = 1;
+  const LegalColoringResult solo =
+      color_graph(m.g, m.arboricity_bound, Preset::NearLinearColors, solo_knobs);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.start_paused = true;  // jobs sit in the queue until resume()
+  config.result_cache_capacity = 0;  // the post-cancel job must really run
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(m.g);
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = m.arboricity_bound;
+  spec.preset = Preset::NearLinearColors;
+  const JobTicket doomed = svc.submit(spec);
+  const JobTicket fine = svc.submit(spec);
+  EXPECT_TRUE(svc.cancel(doomed)) << "job is still queued: cancel registers";
+  svc.resume();
+  const JobResult dead = svc.wait(doomed);
+  EXPECT_FALSE(dead.ok);
+  EXPECT_EQ(dead.status, JobStatus::kCancelled);
+  EXPECT_FALSE(dead.warm_session) << "a pre-dequeue cancel must not run";
+  EXPECT_FALSE(dead.error.empty());
+  // The sibling job and every later job are untouched -- bit-identical.
+  expect_same_result(solo, svc.wait(fine), "post-cancel sibling");
+  expect_same_result(solo, svc.wait(svc.submit(spec)), "post-cancel warm");
+  EXPECT_FALSE(svc.cancel(fine)) << "already delivered: too late to cancel";
+}
+
+TEST(Service, CancelRacesCompletionSafely) {
+  const Mixed& m = mixed_graphs()[2];
+  Knobs solo_knobs;
+  solo_knobs.shards = 1;
+  const LegalColoringResult solo =
+      color_graph(m.g, m.arboricity_bound, Preset::PolylogTime, solo_knobs);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.result_cache_capacity = 0;
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(m.g);
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = m.arboricity_bound;
+  spec.preset = Preset::PolylogTime;
+  // Cancel mid-flight: the outcome depends on when the token lands relative
+  // to the run (before dequeue, at a phase boundary, or after delivery) --
+  // all three must leave the service consistent and the session serving.
+  for (int round = 0; round < 8; ++round) {
+    const JobTicket t = svc.submit(spec);
+    while (svc.queued() > 0) std::this_thread::yield();
+    svc.cancel(t);  // either answer is legal; consistency is what matters
+    const JobResult res = svc.wait(t);
+    if (res.ok) {
+      expect_same_result(solo, res, "cancel lost the race");
+    } else {
+      EXPECT_EQ(res.status, JobStatus::kCancelled);
+      EXPECT_FALSE(res.error.empty());
+    }
+    // Either way the NEXT job is clean and bit-identical.
+    expect_same_result(solo, svc.wait(svc.submit(spec)), "post-cancel run");
+  }
+}
+
+TEST(Service, DeadlineExpiryWhileQueuedAndCompletionRace) {
+  const Mixed& m = mixed_graphs()[0];
+  Knobs solo_knobs;
+  solo_knobs.shards = 1;
+  const LegalColoringResult solo =
+      color_graph(m.g, m.arboricity_bound, Preset::NearLinearColors, solo_knobs);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.start_paused = true;
+  config.result_cache_capacity = 0;
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(m.g);
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = m.arboricity_bound;
+  spec.preset = Preset::NearLinearColors;
+  EXPECT_THROW(
+      [&] {
+        JobSpec bad = spec;
+        bad.deadline_ms = -1.0;
+        svc.submit(bad);
+      }(),
+      precondition_error);
+  JobSpec hurried = spec;
+  hurried.deadline_ms = 0.01;  // will expire while gated behind the pause
+  JobSpec patient = spec;
+  patient.deadline_ms = 1e9;  // generous: completes normally
+  const JobTicket late = svc.submit(hurried);
+  const JobTicket fine = svc.submit(patient);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  svc.resume();
+  const JobResult expired = svc.wait(late);
+  EXPECT_FALSE(expired.ok);
+  EXPECT_EQ(expired.status, JobStatus::kExpired);
+  EXPECT_FALSE(expired.warm_session) << "an expired job must not run";
+  expect_same_result(solo, svc.wait(fine), "generous deadline completes");
+  // The expiry freed no session (none was acquired) and poisoned nothing.
+  expect_same_result(solo, svc.wait(svc.submit(spec)), "post-expiry warm");
+}
+
+TEST(Service, AdmissionControlShedsInsteadOfBlocking) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 4;
+  config.start_paused = true;  // nothing drains: saturation is deterministic
+  config.shed_on_saturation = true;
+  config.result_cache_capacity = 0;
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(planted_arboricity(200, 3, 31));
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = 3;
+  std::vector<JobTicket> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(svc.submit(spec));
+  EXPECT_EQ(svc.queued(), 4u);
+  // Queue full: a kNormal submit is answered immediately with a structured
+  // rejection instead of blocking the caller.
+  const JobTicket shed = svc.submit(spec);
+  const JobResult rejected = svc.wait(shed);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.status, JobStatus::kRejected);
+  EXPECT_FALSE(rejected.error.empty());
+  EXPECT_EQ(svc.queued(), 4u) << "the shed job never entered the queue";
+  EXPECT_FALSE(svc.cancel(shed)) << "nothing to cancel: it never queued";
+  const ServiceMetrics mid = svc.metrics();
+  EXPECT_EQ(mid.shed, 1u);
+  EXPECT_EQ(mid.queue_depth, 4u);
+  svc.resume();
+  svc.drain();
+  for (const JobTicket t : queued) {
+    EXPECT_TRUE(svc.wait(t).ok) << "admitted jobs run to completion";
+  }
+}
+
+TEST(Service, DigestClassSheddingProtectsDiversity) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 8;
+  config.start_paused = true;
+  config.shed_on_saturation = true;
+  config.result_cache_capacity = 0;
+  ColoringService svc(config);
+  const GraphRef hog = svc.intern(planted_arboricity(200, 3, 37));
+  const GraphRef other = svc.intern(planted_arboricity(210, 3, 41));
+  JobSpec bulk;
+  bulk.graph = hog;
+  bulk.arboricity_bound = 3;
+  bulk.priority = Priority::kLow;
+  // Fill to the high-water mark (3/4 of 8 = 6) entirely with one topology.
+  std::vector<JobTicket> admitted;
+  for (int i = 0; i < 6; ++i) admitted.push_back(svc.submit(bulk));
+  EXPECT_EQ(svc.queued(), 6u);
+  // Past high water, MORE of the dominant class sheds early...
+  const JobResult hog_shed = svc.wait(svc.submit(bulk));
+  EXPECT_EQ(hog_shed.status, JobStatus::kRejected);
+  EXPECT_EQ(svc.queued(), 6u);
+  // ...while a kLow job of a DIFFERENT topology still gets in, and so does
+  // a kNormal job of the dominant one (only kLow is class-shed).
+  JobSpec diverse = bulk;
+  diverse.graph = other;
+  admitted.push_back(svc.submit(diverse));
+  JobSpec urgent = bulk;
+  urgent.priority = Priority::kNormal;
+  admitted.push_back(svc.submit(urgent));
+  EXPECT_EQ(svc.queued(), 8u);
+  const ServiceMetrics mid = svc.metrics();
+  EXPECT_EQ(mid.queue_depth_by_priority[static_cast<int>(Priority::kLow)], 7u);
+  EXPECT_EQ(mid.queue_depth_by_priority[static_cast<int>(Priority::kNormal)],
+            1u);
+  svc.resume();
+  svc.drain();
+  for (const JobTicket t : admitted) EXPECT_TRUE(svc.wait(t).ok);
+}
+
+TEST(Service, ResultCacheHitsAreBitIdenticalAndRunFree) {
+  const Mixed& m = mixed_graphs()[1];
+  Knobs solo_knobs;
+  solo_knobs.shards = 1;
+  const LegalColoringResult solo =
+      color_graph(m.g, m.arboricity_bound, Preset::NearLinearColors, solo_knobs);
+
+  ServiceConfig config;
+  config.workers = 2;
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(m.g);
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = m.arboricity_bound;
+  spec.preset = Preset::NearLinearColors;
+  const JobResult first = svc.wait(svc.submit(spec));
+  EXPECT_FALSE(first.cache_hit) << "first submission must compute";
+  expect_same_result(solo, first, "fresh run");
+  const JobResult repeat = svc.wait(svc.submit(spec));
+  EXPECT_TRUE(repeat.cache_hit) << "identical job must hit the cache";
+  EXPECT_FALSE(repeat.warm_session) << "a cache hit acquires no session";
+  // The acceptance bar: a cached answer is bitwise the uncached one --
+  // colors, RunStats totals, and the full PhaseLog span tree.
+  expect_same_result(solo, repeat, "cache hit vs solo");
+  EXPECT_TRUE(first.result.phases == repeat.result.phases);
+  // Any knob that selects the computation keys the cache: a different eps
+  // is a different job, so it misses and runs.
+  JobSpec other = spec;
+  other.knobs.eps = 0.30;
+  EXPECT_FALSE(svc.wait(svc.submit(other)).cache_hit);
+  const ServiceMetrics m2 = svc.metrics();
+  EXPECT_EQ(m2.cache.hits, 1u);
+  EXPECT_EQ(m2.cache.misses, 2u);
+  EXPECT_GT(m2.cache_hit_ratio, 0.0);
+}
+
+TEST(Service, MetricsSnapshotIsCoherent) {
+  ServiceConfig config;
+  config.workers = 2;
+  ColoringService svc(config);
+  const GraphRef g = svc.intern(planted_arboricity(250, 3, 43));
+  JobSpec spec;
+  spec.graph = g;
+  spec.arboricity_bound = 3;
+  spec.preset = Preset::LinearColors;
+  std::vector<JobTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec s = spec;
+    s.knobs.mu = 0.5 + 0.01 * i;  // distinct fingerprints: all six run
+    tickets.push_back(svc.submit(s));
+  }
+  svc.drain();
+  for (const JobTicket t : tickets) EXPECT_TRUE(svc.wait(t).ok);
+  const ServiceMetrics m = svc.metrics();
+  EXPECT_EQ(m.submitted, 6u);
+  EXPECT_EQ(m.completed, 6u);
+  EXPECT_EQ(m.ok, 6u);
+  EXPECT_EQ(m.failed + m.shed + m.cancelled + m.expired, 0u);
+  EXPECT_EQ(m.queue_depth, 0u);
+  EXPECT_EQ(m.queue_capacity, svc.config().queue_capacity);
+  ASSERT_EQ(m.per_preset.size(), 1u) << "only LinearColors served jobs";
+  EXPECT_EQ(m.per_preset[0].preset, Preset::LinearColors);
+  EXPECT_EQ(m.per_preset[0].jobs, 6u);
+  EXPECT_EQ(m.per_preset[0].run.count, 6u);
+  EXPECT_GE(m.per_preset[0].run.p99_ms, m.per_preset[0].run.p50_ms);
+  EXPECT_GE(m.warm_hit_ratio, 0.0);
+  EXPECT_LE(m.warm_hit_ratio, 1.0);
+  EXPECT_EQ(m.store.size, 1u);
+}
+
+TEST(Runtime, InterruptHookAbortsBetweenPhasesAndSessionStaysSound) {
+  const Mixed& m = mixed_graphs()[0];
+  Knobs knobs;
+  knobs.shards = 1;
+  const LegalColoringResult fresh =
+      color_graph(m.g, m.arboricity_bound, Preset::NearLinearColors, knobs);
+
+  sim::Runtime rt(m.g, 1);
+  // Deterministic mid-pipeline abort: let the first phase start, throw at
+  // the second poll -- i.e. at the boundary before the second phase.
+  int polls = 0;
+  {
+    sim::ScopedInterrupt guard(rt, [&] {
+      if (++polls >= 2) throw std::runtime_error("interrupted for test");
+    });
+    EXPECT_THROW(
+        color_graph(rt, m.arboricity_bound, Preset::NearLinearColors, knobs),
+        std::runtime_error);
+  }
+  EXPECT_GE(polls, 2) << "the pipeline has multiple phases to poll between";
+  EXPECT_FALSE(rt.has_interrupt()) << "ScopedInterrupt must clear the hook";
+  // The abandoned run left the session structurally sound: the same session
+  // now produces the fresh-session result bit-for-bit.
+  rt.reset_log();
+  const LegalColoringResult after =
+      color_graph(rt, m.arboricity_bound, Preset::NearLinearColors, knobs);
+  EXPECT_EQ(fresh.colors, after.colors);
+  EXPECT_TRUE(fresh.total == after.total);
+  EXPECT_TRUE(fresh.phases == after.phases);
 }
 
 }  // namespace
