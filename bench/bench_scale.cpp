@@ -110,7 +110,7 @@ bool run_config(benchio::JsonSink& sink, const std::string& family, int scale,
           ? static_cast<double>(graph_bytes + runtime_bytes) /
                 static_cast<double>(g.num_slots())
           : 0.0;
-  const std::uint64_t rss = benchio::peak_rss_bytes();
+  const std::int64_t rss = benchio::peak_rss_bytes();  // -1 = unmeasurable
 
   std::cout << "   " << preset_name(preset) << ": " << res.distinct
             << " colors, " << res.total.rounds << " rounds in " << color_ms
@@ -161,7 +161,7 @@ bool run_config(benchio::JsonSink& sink, const std::string& family, int scale,
                .field("peak_rss_bytes", rss)
                .field("legal", ok ? 1 : 0));
 
-  if (rss == 0 || rounds_per_sec <= 0.0 || bytes_per_vertex <= 0.0) {
+  if (rss <= 0 || rounds_per_sec <= 0.0 || bytes_per_vertex <= 0.0) {
     std::cout << "   FAILURE: a gated metric is missing or non-positive\n";
     ok = false;
   }

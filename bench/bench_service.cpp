@@ -27,8 +27,15 @@
 // deterministic variant (used as a ctest gate) that asserts shedding,
 // cache hits and claimability rather than measuring.
 //
+// CHAOS section: a seeded fault storm (`--smoke=chaos`, also the tail of
+// the full run) drives a self-healing service -- retries with deterministic
+// backoff, phase-boundary checkpoint resume, digest quarantine -- and
+// asserts every ticket terminates and every recovered job is bitwise-equal
+// to a fault-free solo run; the `"config": "chaos"` record's
+// faults_injected / retries / recovered_bit_identical fields are CI gates.
+//
 //   ./bench_service [--n=8192] [--jobs=48] [--pool=8] [--seed=1]
-//                   [--smoke=openloop]
+//                   [--smoke=openloop|chaos]
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -299,6 +306,183 @@ int run_openloop_smoke(dvc::V n, std::uint64_t seed) {
   return 0;
 }
 
+/// Seeded chaos storm: a mixed workload where half the jobs carry
+/// deterministic fault plans (a scheduled shard failure pinned to attempt 0
+/// plus low-rate drops/corruption/stalls that re-roll per retry), driven
+/// through a self-healing service. Proves the robustness contract the CI
+/// gate checks: every ticket reaches a terminal status (a hang would trip
+/// the test timeout), every faulted-then-recovered job is bitwise-equal to
+/// a fault-free solo run, and the quarantine breaker trips for a digest
+/// that faults on every attempt. Runs behind `--smoke=chaos` (a ctest
+/// target) and as the tail section of the full bench; one "config":
+/// "chaos" record lands in BENCH_service.json either way.
+int run_chaos(dvc::V n, std::uint64_t seed, benchio::JsonSink& sink) {
+  using namespace dvc;
+  std::cout << "chaos storm (n=" << n << ", seed=" << seed << ")\n";
+
+  service::ServiceConfig config;
+  config.workers = 4;
+  config.retry.max_attempts = 4;
+  config.retry.backoff_base_ms = 0.1;
+  config.retry.backoff_cap_ms = 2.0;
+  // Generous: orders of magnitude above any real idle stretch on this
+  // workload, so the watchdog is wired in without ever false-tripping here
+  // (the chaos test suite pins its firing behaviour on a silent program).
+  config.retry.watchdog_idle_rounds = 4096;
+  service::ColoringService svc(config);
+
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"planted_arboricity", svc.intern(planted_arboricity(n, 4, seed)), 4});
+  workloads.push_back(
+      {"barabasi_albert", svc.intern(barabasi_albert(n, 4, seed + 1)), 4});
+  const Preset presets[] = {Preset::NearLinearColors, Preset::LinearColors};
+
+  const int jobs = 32;
+  std::vector<service::JobSpec> sent;
+  std::vector<service::JobTicket> tickets;
+  for (int j = 0; j < jobs; ++j) {
+    const Workload& w = workloads[static_cast<std::size_t>(j) % 2];
+    service::JobSpec spec;
+    spec.graph = w.graph;
+    spec.arboricity_bound = w.arboricity_bound;
+    spec.preset = presets[(static_cast<std::size_t>(j) / 2) % 2];
+    if (j % 2 == 0) {
+      // Faulty half. The scheduled failure fires ONLY on attempt 0 (salt
+      // pin), so every faulty job fails its first run and must heal; the
+      // rate faults draw per-attempt decisions, so a retry faces fresh
+      // (deterministic, seeded) weather rather than replaying its killer.
+      spec.fault_plan.seed = seed + static_cast<std::uint64_t>(j);
+      spec.fault_plan.scheduled.push_back({sim::FaultKind::kShardFailure,
+                                           /*phase=*/1, /*round=*/0,
+                                           /*shard=*/-1, /*salt=*/0});
+      spec.fault_plan.drop_rate = 0.001;
+      spec.fault_plan.corrupt_rate = 0.001;
+      spec.fault_plan.stall_rate = 0.01;
+      spec.fault_plan.stall_us = 50;
+    }
+    sent.push_back(spec);
+    tickets.push_back(svc.submit(std::move(spec)));
+  }
+  svc.drain();
+
+  // Every ticket must be claimable with a terminal status: kOk (possibly
+  // recovered) or kFailed with retries exhausted. Anything else -- an
+  // unexpected structural failure, a checkpoint-replay divergence -- fails
+  // the smoke with its error text.
+  int ok_jobs = 0;
+  int recovered_jobs = 0;
+  int exhausted_jobs = 0;
+  bool identical = true;
+  std::vector<std::optional<LegalColoringResult>> solo(
+      workloads.size() * std::size(presets));
+  for (std::size_t i = 0; i < tickets.size(); ++i) {
+    const service::JobResult res = svc.wait(tickets[i]);
+    if (res.ok) {
+      ++ok_jobs;
+      if (res.recovered) ++recovered_jobs;
+      // Bitwise comparison against a fault-free solo run through the
+      // direct API (memoized per workload x preset).
+      const std::size_t key = (i % 2) * std::size(presets) +
+                              static_cast<std::size_t>(
+                                  sent[i].preset == Preset::LinearColors);
+      if (!solo[key]) {
+        solo[key] = color_graph(*sent[i].graph.graph, sent[i].arboricity_bound,
+                                sent[i].preset, Knobs{});
+      }
+      if (solo[key]->colors != res.result.colors ||
+          !(solo[key]->total == res.result.total) ||
+          !(solo[key]->phases == res.result.phases)) {
+        identical = false;
+        std::cerr << "CHAOS FAIL: job " << res.id << " (attempts "
+                  << res.attempts << ", recovered " << res.recovered
+                  << ") differs bitwise from its fault-free solo run\n";
+      }
+    } else if (res.status == service::JobStatus::kFailed &&
+               res.error.find("transient fault persisted") !=
+                   std::string::npos) {
+      ++exhausted_jobs;  // legitimate terminal outcome of a long bad streak
+    } else {
+      std::cerr << "CHAOS FAIL: job " << res.id << " ended "
+                << service::job_status_name(res.status) << " in phase '"
+                << res.failed_phase << "': " << res.error << "\n";
+      return 1;
+    }
+  }
+  const service::ServiceMetrics m = svc.metrics();
+
+  // Quarantine breaker on its own service: a digest whose jobs fault on
+  // EVERY attempt (scheduled salt -1) must trip the threshold and answer
+  // later jobs structurally instead of burning retries forever.
+  std::uint64_t quarantined = 0;
+  std::size_t quarantined_digests = 0;
+  {
+    service::ServiceConfig qc;
+    qc.workers = 1;
+    qc.retry.max_attempts = 2;
+    qc.retry.backoff_base_ms = 0.0;
+    qc.retry.quarantine_threshold = 2;
+    service::ColoringService qsvc(qc);
+    service::JobSpec doomed;
+    doomed.graph = qsvc.intern(workloads[0].graph.graph);
+    doomed.arboricity_bound = 4;
+    doomed.preset = Preset::NearLinearColors;
+    doomed.fault_plan.seed = seed;
+    doomed.fault_plan.scheduled.push_back(
+        {sim::FaultKind::kShardFailure, /*phase=*/0, /*round=*/0,
+         /*shard=*/-1, /*salt=*/-1});
+    std::vector<service::JobTicket> doomed_tickets;
+    for (int i = 0; i < 4; ++i) {
+      service::JobSpec s = doomed;
+      doomed_tickets.push_back(qsvc.submit(std::move(s)));
+    }
+    for (const service::JobTicket t : doomed_tickets) (void)qsvc.wait(t);
+    const service::ServiceMetrics qm = qsvc.metrics();
+    quarantined = qm.quarantined;
+    quarantined_digests = qm.quarantined_digests;
+    if (quarantined == 0 || quarantined_digests == 0) {
+      std::cerr << "CHAOS FAIL: the quarantine breaker never tripped ("
+                << quarantined << " quarantined jobs)\n";
+      return 1;
+    }
+  }
+
+  std::cout << "chaos: " << ok_jobs << "/" << jobs << " ok ("
+            << recovered_jobs << " recovered, " << exhausted_jobs
+            << " exhausted retries), " << m.faults_injected
+            << " faults injected, " << m.retries << " retries, " << m.recoveries
+            << " recoveries, " << quarantined << " quarantined\n";
+
+  benchio::JsonRecord rec;
+  rec.field("bench", "service")
+      .field("config", "chaos")
+      .field("n", static_cast<std::int64_t>(n))
+      .field("jobs", jobs)
+      .field("ok", ok_jobs)
+      .field("recovered", recovered_jobs)
+      .field("exhausted", exhausted_jobs)
+      .field("faults_injected", m.faults_injected)
+      .field("retries", m.retries)
+      .field("recoveries", m.recoveries)
+      .field("quarantined", quarantined)
+      .field("recovered_bit_identical",
+             (identical && recovered_jobs > 0) ? 1 : 0)
+      .field("peak_rss_bytes", benchio::peak_rss_bytes());
+  sink.add(rec);
+
+  if (!identical) return 1;
+  if (m.faults_injected == 0 || m.retries == 0 || m.recoveries == 0 ||
+      recovered_jobs == 0) {
+    std::cerr << "CHAOS FAIL: the storm exercised no self-healing "
+                 "(faults_injected=" << m.faults_injected
+              << ", retries=" << m.retries << ", recoveries=" << m.recoveries
+              << ")\n";
+    return 1;
+  }
+  std::cout << "chaos storm PASSED\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -311,6 +495,10 @@ int main(int argc, char** argv) {
   const int hw_threads = static_cast<int>(std::thread::hardware_concurrency());
   if (cli.get_string("smoke", "") == "openloop") {
     return run_openloop_smoke(static_cast<V>(cli.get_int("n", 600)), seed);
+  }
+  if (cli.get_string("smoke", "") == "chaos") {
+    benchio::JsonSink sink("service");
+    return run_chaos(static_cast<V>(cli.get_int("n", 600)), seed, sink);
   }
 
   std::cout << "E13: coloring-service load generator (n=" << n
@@ -444,7 +632,11 @@ int main(int argc, char** argv) {
     sink.add(rec);
   }
 
+  // Chaos tail section: the full run carries the same self-healing record
+  // the smoke produces, so the schema gate holds on the release artifact.
+  const int chaos_rc = run_chaos(static_cast<V>(600), seed, sink);
+
   // Bit-identity is a hard failure anywhere; throughput is advisory (it
   // depends on host parallelism), the JSON record is the tracked artifact.
-  return identical ? 0 : 1;
+  return (identical && chaos_rc == 0) ? 0 : 1;
 }

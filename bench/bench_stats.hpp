@@ -29,23 +29,31 @@
 namespace dvc::benchio {
 
 /// Peak resident set size of the calling process in bytes (VmHWM from
-/// /proc/self/status), or 0 where procfs is unavailable. The kernel's
-/// high-water mark covers the whole process lifetime, so benches that
-/// compare configurations should report it once per process or treat it as
-/// a monotone ceiling, not a per-section delta.
-inline std::uint64_t peak_rss_bytes() {
+/// /proc/self/status), or -1 where the value is UNAVAILABLE -- procfs
+/// missing (non-Linux, restricted sandbox) or a kernel that omits the
+/// VmHWM: field. -1 rather than 0 keeps "could not measure" distinguishable
+/// from a genuinely tiny footprint in the JSON records; consumers treat
+/// negative as absent. The kernel's high-water mark covers the whole
+/// process lifetime, so benches that compare configurations should report
+/// it once per process or treat it as a monotone ceiling, not a
+/// per-section delta.
+inline std::int64_t peak_rss_bytes() {
   std::FILE* f = std::fopen("/proc/self/status", "r");
-  if (f == nullptr) return 0;
+  if (f == nullptr) return -1;
   char line[256];
-  std::uint64_t kib = 0;
+  std::int64_t bytes = -1;
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     if (std::strncmp(line, "VmHWM:", 6) == 0) {
-      kib = std::strtoull(line + 6, nullptr, 10);  // reported in kB
+      char* end = nullptr;
+      const unsigned long long kib =
+          std::strtoull(line + 6, &end, 10);  // reported in kB
+      // A field with no parseable number degrades to -1, same as absence.
+      if (end != line + 6) bytes = static_cast<std::int64_t>(kib) * 1024;
       break;
     }
   }
   std::fclose(f);
-  return kib * 1024;
+  return bytes;
 }
 
 /// Best-of-N wall-clock milliseconds of `fn` (the standard microbench

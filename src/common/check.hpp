@@ -31,6 +31,19 @@ class invariant_error : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// Marker base for errors caused by injected or environmental faults (a
+/// failed shard thread, a corrupted or dropped message, an allocation
+/// failure) rather than logic violations. Unlike invariant_error these are
+/// retry-safe: the computation that raised one is expected to succeed if
+/// re-run on a fresh session, so the service layer classifies subclasses --
+/// together with std::bad_alloc -- as transient and eligible for its
+/// RetryPolicy. Derives from std::runtime_error, NOT std::logic_error: a
+/// fault is an event, not a bug.
+class transient_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 namespace detail {
 [[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
                                       const std::string& msg) {

@@ -26,6 +26,7 @@ LegalColoringResult color_graph(sim::Runtime& rt, int arboricity_bound,
   DVC_REQUIRE(arboricity_bound >= 1, "arboricity bound must be >= 1");
   const sim::ScopedCongestWords congest_guard(rt, knobs.congest_words);
   const sim::ScopedScheduler scheduler_guard(rt, knobs.scheduler);
+  const sim::ScopedFaultPlan fault_guard(rt, knobs.fault_plan);
   switch (preset) {
     case Preset::LinearColors:
       return legal_coloring_linear(rt, arboricity_bound, knobs.mu, knobs.eps);
@@ -63,6 +64,7 @@ LegalColoringResult color_graph(const Graph& g, int arboricity_bound, Preset pre
 MisResult mis_graph(sim::Runtime& rt, int arboricity_bound, const Knobs& knobs) {
   const sim::ScopedCongestWords congest_guard(rt, knobs.congest_words);
   const sim::ScopedScheduler scheduler_guard(rt, knobs.scheduler);
+  const sim::ScopedFaultPlan fault_guard(rt, knobs.fault_plan);
   return deterministic_mis(rt, arboricity_bound, knobs.mu, knobs.eps);
 }
 

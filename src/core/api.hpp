@@ -66,6 +66,12 @@ struct Knobs {
   /// (colors, RunStats, PhaseLog), only wall-clock differs. Used for A/B
   /// verification and the scheduler benchmarks.
   sim::Scheduler scheduler = sim::Scheduler::kSession;
+  /// Deterministic fault injection for the pipeline (chaos testing, see
+  /// sim/fault.hpp): non-null installs the plan for the duration of the
+  /// call via ScopedFaultPlan. DIRECT synchronous calls only -- the pointer
+  /// must outlive the call, so jobs submitted to the service use
+  /// service::JobSpec::fault_plan (held by value) instead.
+  const sim::FaultPlan* fault_plan = nullptr;
 };
 
 std::string preset_name(Preset p);

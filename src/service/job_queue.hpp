@@ -75,6 +75,30 @@ class BoundedQueue {
     return true;
   }
 
+  /// Front-of-lane push that is EXEMPT from the capacity bound: the item is
+  /// enqueued even when the queue is full, ahead of everything queued in its
+  /// lane. Returns false iff the queue is closed (the item is not enqueued).
+  ///
+  /// This is the worker-side re-enqueue path for fault retries. A worker
+  /// holding a transiently-failed job must not block for queue space -- with
+  /// every worker re-enqueueing at once and every submitter blocked on a
+  /// full queue, nobody would ever pop (deadlock). A retry does not admit
+  /// new work (the job's capacity slot was already accounted at submission
+  /// and its digest-class occupancy is restored by the caller), so letting
+  /// it overshoot the bound by at most one in-flight job per worker is the
+  /// safe direction.
+  bool push_front(T item, int lane = 0) {
+    check_lane(lane);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      lanes_[static_cast<std::size_t>(lane)].push_front(std::move(item));
+      ++count_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Non-blocking push. Returns false when the queue is full or closed.
   bool try_push(T item, int lane = 0) {
     check_lane(lane);

@@ -59,6 +59,7 @@ const char* job_status_name(JobStatus s) {
     case JobStatus::kRejected: return "rejected";
     case JobStatus::kCancelled: return "cancelled";
     case JobStatus::kExpired: return "expired";
+    case JobStatus::kQuarantined: return "quarantined";
   }
   return "unknown";
 }
@@ -225,6 +226,15 @@ ColoringService::ColoringService(ServiceConfig config)
                     "max_idle_sessions_total must be >= 0");
         DVC_REQUIRE(config.result_cache_capacity >= 0,
                     "result_cache_capacity must be >= 0");
+        DVC_REQUIRE(config.retry.max_attempts >= 1,
+                    "retry.max_attempts must be >= 1");
+        DVC_REQUIRE(config.retry.backoff_base_ms >= 0.0 &&
+                        config.retry.backoff_cap_ms >= 0.0,
+                    "retry backoff must be >= 0 ms");
+        DVC_REQUIRE(config.retry.quarantine_threshold >= 0,
+                    "retry.quarantine_threshold must be >= 0");
+        DVC_REQUIRE(config.retry.watchdog_idle_rounds >= 0,
+                    "retry.watchdog_idle_rounds must be >= 0");
         if (config.max_idle_sessions_per_key == 0) {
           config.max_idle_sessions_per_key = config.workers;
         }
@@ -286,6 +296,9 @@ void ColoringService::forget_queued_locked(const Job& job) {
 JobTicket ColoringService::submit(JobSpec spec) {
   DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
   DVC_REQUIRE(spec.deadline_ms >= 0.0, "deadline must be >= 0 ms");
+  DVC_REQUIRE(spec.knobs.fault_plan == nullptr,
+              "Knobs::fault_plan is a borrowed pointer for direct calls; "
+              "service jobs carry the plan by value in JobSpec::fault_plan");
   Job job;
   JobTicket ticket;
   const char* rejection = nullptr;
@@ -347,6 +360,9 @@ JobTicket ColoringService::submit(JobSpec spec) {
 std::optional<JobTicket> ColoringService::try_submit(JobSpec spec) {
   DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
   DVC_REQUIRE(spec.deadline_ms >= 0.0, "deadline must be >= 0 ms");
+  DVC_REQUIRE(spec.knobs.fault_plan == nullptr,
+              "Knobs::fault_plan is a borrowed pointer for direct calls; "
+              "service jobs carry the plan by value in JobSpec::fault_plan");
   // The id/submitted_ reservation and the non-blocking enqueue happen under
   // one state-lock hold: reserving first and rolling back on a full queue
   // would let a concurrent drain() capture a submitted_ target that no job
@@ -388,6 +404,10 @@ std::vector<JobTicket> ColoringService::submit_batch(std::vector<JobSpec> specs)
     for (JobSpec& spec : specs) {
       DVC_REQUIRE(spec.graph, "job spec has no graph (intern it first)");
       DVC_REQUIRE(spec.deadline_ms >= 0.0, "deadline must be >= 0 ms");
+      DVC_REQUIRE(spec.knobs.fault_plan == nullptr,
+                  "Knobs::fault_plan is a borrowed pointer for direct calls; "
+                  "service jobs carry the plan by value in "
+                  "JobSpec::fault_plan");
       const char* rejection =
           config_.shed_on_saturation
               ? admission_reject_locked(spec, jobs.size())
@@ -586,6 +606,11 @@ ServiceMetrics ColoringService::metrics() const {
     m.shed = shed_;
     m.cancelled = cancelled_;
     m.expired = expired_;
+    m.quarantined = quarantined_count_;
+    m.retries = retries_;
+    m.recoveries = recoveries_;
+    m.faults_injected = faults_injected_;
+    m.quarantined_digests = quarantined_.size();
     for (int p = 0; p < kNumPresets; ++p) {
       const PresetTrack& track = per_preset_[static_cast<std::size_t>(p)];
       if (track.jobs == 0) continue;
@@ -625,17 +650,24 @@ void ColoringService::worker_loop() {
       std::lock_guard<std::mutex> lock(state_mutex_);
       forget_queued_locked(job);
     }
-    deliver(execute(std::move(job)));
+    // Retry backoff booked at requeue time (deterministic per-job jitter).
+    if (job.not_before != std::chrono::steady_clock::time_point{}) {
+      std::this_thread::sleep_until(job.not_before);
+    }
+    // nullopt: the job failed transiently and went back to the queue for a
+    // retry -- there is no result to deliver yet.
+    if (auto result = execute(std::move(job))) deliver(std::move(*result));
   }
 }
 
-JobResult ColoringService::execute(Job job) {
+std::optional<JobResult> ColoringService::execute(Job job) {
   const JobSpec& spec = job.spec;
   JobResult res;
   res.id = job.id;
   res.preset = spec.preset;
   res.priority = spec.priority;
   res.graph_digest = spec.graph.digest;
+  res.attempts = job.attempt;  // bumped below once a run actually starts
   const int shards =
       spec.knobs.shards > 0 ? spec.knobs.shards : config_.default_shards;
   res.shards = shards;
@@ -663,27 +695,70 @@ JobResult ColoringService::execute(Job job) {
   // Result cache: an identical (graph, preset, bound, knobs) job was
   // already computed -- answer without a run. Cached values are shared
   // immutable results, so the copy into res is bitwise what the original
-  // run produced (the bit-identity tests pin this).
+  // run produced (the bit-identity tests pin this). An ARMED fault plan
+  // bypasses the cache in both directions: a chaos job must actually run
+  // (and possibly fault), and a run that faulted-and-recovered is verified
+  // bit-identical but stays out of the fault-free cache population.
+  const bool plan_armed = spec.fault_plan.armed();
   const ResultCache::Key cache_key{spec.graph.digest,
                                    static_cast<int>(spec.preset),
                                    spec.arboricity_bound,
                                    knob_fingerprint(spec.knobs, shards)};
-  if (auto cached = cache_.lookup(cache_key)) {
-    res.result = *cached;
-    res.status = JobStatus::kOk;
-    res.ok = true;
-    res.cache_hit = true;
-    res.run_ms = ms_between(started, std::chrono::steady_clock::now());
-    return res;
+  if (!plan_armed) {
+    if (auto cached = cache_.lookup(cache_key)) {
+      res.result = *cached;
+      res.status = JobStatus::kOk;
+      res.ok = true;
+      res.cache_hit = true;
+      res.run_ms = ms_between(started, std::chrono::steady_clock::now());
+      return res;
+    }
   }
+  // Circuit breaker: a quarantined digest completes structurally without
+  // consuming a run or retries (see RetryPolicy::quarantine_threshold).
+  if (config_.retry.quarantine_threshold > 0) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (quarantined_.contains(spec.graph.digest)) {
+      res.status = JobStatus::kQuarantined;
+      res.error =
+          "graph digest is quarantined after repeated transient faults";
+      res.run_ms = ms_between(started, std::chrono::steady_clock::now());
+      return res;
+    }
+  }
+  std::uint64_t fault_delta = 0;
+  bool transient = false;
   try {
-    SessionPool::Entry entry = pool_.acquire(spec.graph, shards);
+    // Attempt 0 takes a pooled (possibly warm) session. Retries build a
+    // FRESH cold session instead: the failed attempt's session was
+    // discarded below (injected drops/corruption deliberately scramble its
+    // arena state), and a fresh session is the natural target for a
+    // checkpoint resume.
+    SessionPool::Entry entry;
+    if (job.attempt == 0) {
+      entry = pool_.acquire(spec.graph, shards);
+    } else {
+      entry.graph = spec.graph;
+      entry.shards = shards;
+      entry.rt = std::make_unique<sim::Runtime>(*spec.graph.graph, shards);
+      entry.warm = false;
+    }
     res.warm_session = entry.warm;
+    res.attempts = job.attempt + 1;
     // Warm reuse contract: forget the previous job's phases, keep every
     // arena. The run below is bit-identical to one on a fresh session (the
     // runtime suite proves shared-vs-fresh identity), which is what makes
     // pool reuse invisible to callers.
     entry.rt->reset_log();
+    if (job.resume_ckpt && config_.retry.resume_from_checkpoint) {
+      // Restore the phase-boundary state of the failed attempt and arm
+      // replay verification: the re-run below re-executes the pipeline
+      // from the top, and every phase up to the checkpoint is verified
+      // bit-identical against it as it lands (divergence -> invariant
+      // error -> kFailed, never a silently different answer).
+      entry.rt->resume(*job.resume_ckpt);
+    }
+    const std::uint64_t faults_before = entry.rt->faults_injected();
     try {
       // Phase-boundary interruption: the hook runs at the top of every
       // run_phase, BETWEEN phases, never inside a round -- so an abandoned
@@ -701,30 +776,90 @@ JobResult ColoringService::execute(Job job) {
                               "deadline expired at a phase boundary"};
         }
       });
+      const sim::ScopedWatchdog watchdog(*entry.rt,
+                                         config_.retry.watchdog_idle_rounds);
+      // Chaos injection: the job's plan, salted with the attempt index so a
+      // retry draws fresh fault decisions instead of replaying the fault
+      // that killed it. Scoped: a pooled session never inherits a plan.
+      sim::FaultPlan plan = spec.fault_plan;
+      plan.salt = job.attempt;
+      const sim::ScopedFaultPlan fault_guard(*entry.rt,
+                                             plan_armed ? &plan : nullptr);
       res.result = color_graph(*entry.rt, spec.arboricity_bound, spec.preset,
                                spec.knobs);
       res.status = JobStatus::kOk;
       res.ok = true;
+      res.recovered = job.attempt > 0;
     } catch (...) {
-      // A throwing job fails only itself. The session is still structurally
-      // sound (the runtime clears shard exception state when it rethrows,
-      // and interrupts fire only between phases), so it goes back to the
-      // pool -- a poisoned, cancelled or expired job must never shrink
-      // serving capacity.
-      pool_.release(std::move(entry));
+      fault_delta = entry.rt->faults_injected() - faults_before;
+      res.failed_phase = std::string(entry.rt->last_phase());
+      // Classify: transient (retry-safe environmental -- injected faults,
+      // detected corruption, allocation failure) vs structural.
+      try {
+        throw;
+      } catch (const transient_error&) {
+        transient = true;
+      } catch (const std::bad_alloc&) {
+        transient = true;
+      } catch (...) {
+      }
+      if (transient) {
+        // First transient failure captures the phase-boundary snapshot the
+        // retry resumes from. (The runtime's stamp guard already advanced
+        // the session past the aborted phase, so this IS a boundary; the
+        // log holds only COMPLETED phases.) Best-effort: if the snapshot
+        // itself fails -- say, under allocation-failure injection -- the
+        // retry simply re-runs from scratch.
+        if (!job.resume_ckpt && config_.retry.resume_from_checkpoint) {
+          try {
+            job.resume_ckpt =
+                std::make_shared<const std::vector<std::uint8_t>>(
+                    entry.rt->checkpoint());
+          } catch (...) {
+          }
+        }
+        // Discard the session (fall off scope, joining its threads):
+        // injected drops/corruption leave arena state deliberately
+        // scrambled, so it must never return to the pool.
+      } else {
+        // A structurally-throwing job fails only itself. The session is
+        // still sound (the runtime clears shard exception state when it
+        // rethrows, and interrupts fire only between phases), so it goes
+        // back to the pool -- a poisoned, cancelled or expired job must
+        // never shrink serving capacity.
+        pool_.release(std::move(entry));
+      }
       throw;
     }
+    fault_delta = entry.rt->faults_injected() - faults_before;
     pool_.release(std::move(entry));
-    cache_.insert(cache_key, std::make_shared<const LegalColoringResult>(
-                                 res.result));
+    if (!plan_armed) {
+      cache_.insert(cache_key, std::make_shared<const LegalColoringResult>(
+                                   res.result));
+    }
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      faults_injected_ += fault_delta;
+      // Success resets the circuit breaker's consecutive-failure count.
+      poison_counts_.erase(spec.graph.digest);
+    }
   } catch (const job_interrupt& stop) {
     res.status = stop.status;
     res.ok = false;
     res.error = stop.what;
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    faults_injected_ += fault_delta;
   } catch (const std::exception& e) {
+    if (transient) {
+      res.run_ms = ms_between(started, std::chrono::steady_clock::now());
+      return handle_transient(std::move(job), std::move(res), e.what(),
+                              fault_delta);
+    }
     res.status = JobStatus::kFailed;
     res.ok = false;
     res.error = e.what();
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    faults_injected_ += fault_delta;
   } catch (...) {
     res.status = JobStatus::kFailed;
     res.ok = false;
@@ -734,12 +869,91 @@ JobResult ColoringService::execute(Job job) {
   return res;
 }
 
+std::optional<JobResult> ColoringService::handle_transient(
+    Job job, JobResult res, const std::string& what,
+    std::uint64_t fault_delta) {
+  const std::uint64_t digest = job.spec.graph.digest;
+  const ServiceConfig::RetryPolicy& policy = config_.retry;
+  bool quarantine_now = false;
+  int poison_count = 0;
+  bool retry = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    faults_injected_ += fault_delta;
+    if (policy.quarantine_threshold > 0) {
+      poison_count = ++poison_counts_[digest];
+      if (poison_count >= policy.quarantine_threshold) {
+        quarantined_.insert(digest);
+        quarantine_now = true;
+      }
+    }
+    if (!quarantine_now && job.attempt + 1 < policy.max_attempts) {
+      retry = true;
+      ++retries_;
+      // The retried job re-enters the queue, so its digest class occupies
+      // queue space again as far as the shedding policy is concerned.
+      ++digest_queued_[digest];
+    }
+  }
+  if (quarantine_now) {
+    res.status = JobStatus::kQuarantined;
+    res.ok = false;
+    res.error = "graph digest quarantined after " +
+                std::to_string(poison_count) +
+                " consecutive transient faults; last: " + what;
+    return res;
+  }
+  if (retry) {
+    const int attempt = job.attempt + 1;  // 1-based retry index
+    job.attempt = attempt;
+    // Capped exponential backoff with DETERMINISTIC jitter in [0.5, 1.0)
+    // from (job id, attempt): reproducible schedules, no thundering herd.
+    double wait_ms = 0.0;
+    if (policy.backoff_base_ms > 0.0) {
+      wait_ms = std::min(policy.backoff_cap_ms,
+                         policy.backoff_base_ms * std::ldexp(1.0, attempt - 1));
+      const std::uint64_t bits =
+          detail::digest_mix(job.id, static_cast<std::uint64_t>(attempt));
+      wait_ms *= 0.5 + 0.5 * (static_cast<double>(bits >> 11) * 0x1p-53);
+    }
+    job.not_before =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(wait_ms));
+    const int lane = static_cast<int>(job.spec.priority);
+    // Capacity-exempt front-of-lane requeue: a worker must never block for
+    // queue space (every worker retrying at once against blocked
+    // submitters would deadlock), and the retry should run before new work
+    // of its class -- its latency clock has been ticking since submission.
+    if (queue_.push_front(std::move(job), lane)) return std::nullopt;
+    // The queue closed under us (shutdown race): roll back the occupancy
+    // and fail structurally so the ticket stays claimable.
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      const auto it = digest_queued_.find(digest);
+      if (it != digest_queued_.end() && --it->second == 0) {
+        digest_queued_.erase(it);
+      }
+    }
+    res.status = JobStatus::kFailed;
+    res.ok = false;
+    res.error = "service shut down during a fault retry: " + what;
+    return res;
+  }
+  res.status = JobStatus::kFailed;
+  res.ok = false;
+  res.error = "transient fault persisted after " +
+              std::to_string(job.attempt + 1) + " attempts: " + what;
+  return res;
+}
+
 void ColoringService::deliver(JobResult result) {
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     switch (result.status) {
       case JobStatus::kOk: {
         ++ok_;
+        if (result.recovered) ++recoveries_;
         PresetTrack& track =
             per_preset_[static_cast<std::size_t>(result.preset)];
         ++track.jobs;
@@ -751,6 +965,7 @@ void ColoringService::deliver(JobResult result) {
       case JobStatus::kRejected: ++shed_; break;
       case JobStatus::kCancelled: ++cancelled_; break;
       case JobStatus::kExpired: ++expired_; break;
+      case JobStatus::kQuarantined: ++quarantined_count_; break;
     }
     cancel_tokens_.erase(result.id);
     results_.emplace(result.id, std::move(result));

@@ -105,6 +105,10 @@ enum class JobStatus {
   kCancelled,
   /// The deadline passed -- while queued, or mid-run at a phase boundary.
   kExpired,
+  /// The job's graph digest tripped the quarantine circuit breaker: too
+  /// many transient faults in a row for this topology, so the service stops
+  /// burning retries on it (see ServiceConfig::RetryPolicy).
+  kQuarantined,
 };
 const char* job_status_name(JobStatus s);
 
@@ -144,6 +148,42 @@ struct ServiceConfig {
   /// until resume() is called. Used by drain/backpressure tests and by
   /// callers that want to pre-fill a batch before execution starts.
   bool start_paused = false;
+
+  /// Self-healing policy for TRANSIENT job failures (sim::transient_error
+  /// subclasses -- injected faults, detected message corruption -- and
+  /// std::bad_alloc). Structural failures (precondition/invariant/bandwidth
+  /// errors, watchdog trips, cancellation, deadlines) are never retried:
+  /// they are deterministic properties of the job, so re-running cannot
+  /// change the outcome.
+  struct RetryPolicy {
+    /// Total execution attempts per job (first run included). 1 = the
+    /// legacy behaviour: any failure is final. Must be >= 1.
+    int max_attempts = 1;
+    /// Capped exponential backoff before attempt k (1-based retry index):
+    /// min(backoff_cap_ms, backoff_base_ms * 2^(k-1)), scaled by a
+    /// DETERMINISTIC jitter factor in [0.5, 1.0) derived from the job id
+    /// and attempt -- reproducible schedules, no thundering herd. Both in
+    /// milliseconds; base 0 disables the wait.
+    double backoff_base_ms = 1.0;
+    double backoff_cap_ms = 50.0;
+    /// Circuit breaker: after this many CONSECUTIVE transient failures for
+    /// one graph digest (across jobs; any success resets the count), the
+    /// digest is quarantined -- its jobs complete as JobStatus::kQuarantined
+    /// without consuming runs or retries. 0 disables quarantine.
+    int quarantine_threshold = 0;
+    /// Runaway-job watchdog, forwarded to the session for the duration of
+    /// each run (sim::Runtime::set_watchdog_idle_rounds): a phase that makes
+    /// no progress for this many consecutive rounds fails STRUCTURALLY
+    /// (sim::watchdog_error -- not retried, the job would just hang again).
+    /// 0 disables the watchdog.
+    int watchdog_idle_rounds = 0;
+    /// Resume retries from the checkpoint captured at the failed run's last
+    /// completed phase boundary instead of re-running from scratch. The
+    /// resumed run is verified bit-identical to a fresh one by the
+    /// checkpoint replay machinery (see sim/runtime.hpp).
+    bool resume_from_checkpoint = true;
+  };
+  RetryPolicy retry;
 };
 
 /// One unit of work: color `graph` with `preset` under `knobs`.
@@ -162,6 +202,14 @@ struct JobSpec {
   /// boundaries) completes with JobStatus::kExpired instead of running to
   /// the end.
   double deadline_ms = 0.0;
+  /// Deterministic fault injection for this job's runs (chaos testing, see
+  /// sim/fault.hpp). Held BY VALUE -- service jobs outlive the submitting
+  /// frame, so the Knobs::fault_plan pointer is rejected here. The plan is
+  /// installed scoped to each attempt with FaultPlan::salt set to the
+  /// attempt index, so retries of the same job draw fresh fault decisions.
+  /// An armed plan bypasses the result cache in both directions (a faulted
+  /// run is not the cache's bit-identity contract).
+  sim::FaultPlan fault_plan;
 };
 
 /// Futures-free job handle. Tickets are claimed exactly once: wait()/poll()
@@ -191,6 +239,16 @@ struct JobResult {
   bool warm_session = false;
   /// True iff the result was answered from the result cache without a run.
   bool cache_hit = false;
+  /// Execution attempts consumed (0 = never ran: cache hit / rejected /
+  /// quarantined / cancelled or expired before dequeue).
+  int attempts = 0;
+  /// True iff the job failed transiently at least once and a retry then
+  /// succeeded -- the self-healing path. The result is bit-identical to a
+  /// fault-free run (checkpoint replay verifies this).
+  bool recovered = false;
+  /// Label of the pipeline phase that was running (or about to run) when a
+  /// failed job threw; empty for kOk and for jobs that never ran.
+  std::string failed_phase;
   /// Wall-clock: time spent queued and time spent executing. Reporting
   /// only -- never part of the determinism surface.
   double queue_ms = 0.0;
@@ -342,6 +400,13 @@ struct ServiceMetrics {
   std::uint64_t shed = 0;       ///< JobStatus::kRejected
   std::uint64_t cancelled = 0;  ///< JobStatus::kCancelled
   std::uint64_t expired = 0;    ///< JobStatus::kExpired
+  std::uint64_t quarantined = 0;  ///< JobStatus::kQuarantined
+
+  // Self-healing (see ServiceConfig::RetryPolicy).
+  std::uint64_t retries = 0;      ///< transient failures re-queued for retry
+  std::uint64_t recoveries = 0;   ///< ok jobs that needed at least one retry
+  std::uint64_t faults_injected = 0;  ///< runtime faults fired across all runs
+  std::size_t quarantined_digests = 0;  ///< digests currently circuit-broken
 
   ResultCache::Stats cache;
   double cache_hit_ratio = 0.0;  ///< hits / (hits + misses); 0 when idle
@@ -439,6 +504,16 @@ class ColoringService {
     std::chrono::steady_clock::time_point enqueued_at;
     /// Set by cancel(); polled at dequeue and at phase boundaries.
     std::shared_ptr<std::atomic<bool>> cancel;
+    /// Execution attempts already consumed (0 for a fresh job); retries
+    /// re-enter the queue with this bumped.
+    int attempt = 0;
+    /// Retry backoff: the worker sleeps until this instant before running
+    /// (default epoch = no wait).
+    std::chrono::steady_clock::time_point not_before{};
+    /// Phase-boundary checkpoint captured when the first transient failure
+    /// struck, for RetryPolicy::resume_from_checkpoint retries. Shared so
+    /// requeueing copies cheaply.
+    std::shared_ptr<const std::vector<std::uint8_t>> resume_ckpt;
   };
 
   /// Sliding window of the most recent latency samples (ring overwrite).
@@ -455,7 +530,15 @@ class ColoringService {
   };
 
   void worker_loop();
-  JobResult execute(Job job);
+  /// Runs the job (or answers it structurally). nullopt means the job was
+  /// RE-QUEUED for a fault retry -- no result yet, deliver nothing.
+  std::optional<JobResult> execute(Job job);
+  /// Transient-failure handler: books the fault, decides quarantine vs
+  /// retry vs exhaustion. Returns nullopt when the job went back to the
+  /// queue, otherwise the terminal result to deliver.
+  std::optional<JobResult> handle_transient(Job job, JobResult res,
+                                            const std::string& what,
+                                            std::uint64_t fault_delta);
   void deliver(JobResult result);
   /// Shedding decision for `spec` given the current queue state; returns
   /// the rejection reason or nullptr to admit. `backlog` counts jobs
@@ -506,6 +589,17 @@ class ColoringService {
   std::uint64_t shed_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t expired_ = 0;
+  std::uint64_t quarantined_count_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t faults_injected_ = 0;
+  /// Consecutive transient-failure count per graph digest (successes erase);
+  /// crossing RetryPolicy::quarantine_threshold moves the digest into
+  /// quarantined_.
+  std::unordered_map<std::uint64_t, int> poison_counts_;
+  /// Digests the circuit breaker has tripped for: their jobs complete as
+  /// kQuarantined without a run.
+  std::unordered_set<std::uint64_t> quarantined_;
   std::array<PresetTrack, kNumPresets> per_preset_;
   bool paused_ = false;
   bool accepting_ = true;

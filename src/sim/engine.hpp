@@ -46,6 +46,14 @@ class Engine {
     rt_.set_round_observer(std::move(observer));
   }
 
+  /// Deterministic fault injection passthroughs (see sim/fault.hpp).
+  void set_fault_plan(FaultPlan plan) { rt_.set_fault_plan(std::move(plan)); }
+  std::uint64_t faults_injected() const { return rt_.faults_injected(); }
+
+  /// Phase-boundary checkpoint/resume passthroughs (see Runtime).
+  std::vector<std::uint8_t> checkpoint() const { return rt_.checkpoint(); }
+  void resume(std::span<const std::uint8_t> buffer) { rt_.resume(buffer); }
+
   static void set_default_shards(int shards) {
     Runtime::set_default_shards(shards);
   }

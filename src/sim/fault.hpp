@@ -1,0 +1,223 @@
+// Deterministic fault injection for the simulation runtime.
+//
+// A FaultPlan is a pure value describing WHICH faults to inject WHERE; the
+// Runtime consults it at fixed points of run_phase (shard sweep entry, the
+// send path, the delivery boundary between rounds). Every decision is a pure
+// hash of (seed, salt, kind, phase, round, shard) through the same splitmix
+// combiner the graph digest uses, so a plan replayed against the same
+// session reproduces the same faults bit-identically -- at any shard count
+// for the message-level kinds, which are keyed on the phase/round alone and
+// pick victims by canonical slot id.
+//
+// The `salt` field separates retry attempts: the service re-runs a failed
+// job with salt = attempt number, so a probabilistic fault that killed
+// attempt 0 does not deterministically kill every retry, while a Scheduled
+// entry with salt = -1 fires on EVERY attempt (for exhaustion/quarantine
+// tests). Faults raised by the runtime derive from dvc::transient_error so
+// the service can classify them mechanically (see check.hpp).
+//
+// Fault taxonomy (see DESIGN.md, "Fault model & recovery"):
+//   * kShardFailure -- a shard thread dies at sweep entry (fault_error).
+//   * kMessageDrop  -- one freshly-sent mailbox slot is unstamped at the
+//                      delivery boundary, as if the word never arrived.
+//   * kMessageCorrupt -- one payload word of a freshly-sent slot is
+//                      bit-flipped at the delivery boundary.
+//     Both are detected (when FaultPlan::checksum is on) by the per-round
+//     XOR checksum lane and surface as corruption_error BEFORE any step()
+//     observes the damaged round.
+//   * kAllocFailure -- std::bad_alloc at sweep entry (the standard library
+//                      type, so injected and genuine exhaustion share a
+//                      recovery path).
+//   * kStall        -- the shard sleeps before sweeping. Never an error:
+//                      stalls must be output-invisible, and the chaos tests
+//                      assert exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/graph.hpp"
+
+namespace dvc::sim {
+
+enum class FaultKind : std::uint8_t {
+  kShardFailure = 0,
+  kMessageDrop,
+  kMessageCorrupt,
+  kAllocFailure,
+  kStall,
+};
+
+inline const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kShardFailure: return "shard_failure";
+    case FaultKind::kMessageDrop: return "message_drop";
+    case FaultKind::kMessageCorrupt: return "message_corrupt";
+    case FaultKind::kAllocFailure: return "alloc_failure";
+    case FaultKind::kStall: return "stall";
+  }
+  return "unknown";
+}
+
+/// An injected shard-level fault (kShardFailure from the plan). Structured
+/// so tests and the service can attribute the failure mechanically; carries
+/// the phase label so a deep-pipeline failure names the phase that raised
+/// it without any caller-side bookkeeping.
+class fault_error : public transient_error {
+ public:
+  fault_error(const std::string& what, FaultKind kind, std::string phase_label,
+              int phase, int round, int shard)
+      : transient_error(what),
+        kind(kind),
+        phase_label(std::move(phase_label)),
+        phase(phase),
+        round(round),
+        shard(shard) {}
+
+  FaultKind kind;
+  std::string phase_label;  ///< label of the phase the fault fired in
+  int phase;                ///< 0-based index of the phase within the session
+  int round;                ///< round the sweep was entered for (0 = begin)
+  int shard;                ///< the failed shard
+};
+
+/// Raised when the per-round XOR checksum lane detects that the messages
+/// delivered at a round boundary do not match the messages the senders
+/// recorded -- i.e. a drop or corruption (injected or environmental)
+/// happened in the mailbox between send and delivery. Also raised by
+/// Runtime::resume on a checkpoint buffer whose trailing checksum does not
+/// match its bytes.
+class corruption_error : public transient_error {
+ public:
+  corruption_error(const std::string& what, std::string phase_label, int phase,
+                   int round, std::uint64_t expected_messages,
+                   std::uint64_t observed_messages)
+      : transient_error(what),
+        phase_label(std::move(phase_label)),
+        phase(phase),
+        round(round),
+        expected_messages(expected_messages),
+        observed_messages(observed_messages) {}
+
+  std::string phase_label;
+  int phase;  ///< 0-based phase index (-1 for checkpoint-buffer corruption)
+  int round;  ///< delivery round the mismatch was detected at
+  std::uint64_t expected_messages;
+  std::uint64_t observed_messages;
+};
+
+/// Raised by the runtime watchdog (Runtime::set_watchdog_idle_rounds): the
+/// configured number of consecutive rounds passed in which no vertex halted
+/// and no message was sent -- a runaway phase burning rounds without
+/// progress. A structural failure, NOT a transient_error: re-running the
+/// same program would idle identically, so the service fails such jobs
+/// permanently instead of retrying them.
+class watchdog_error : public invariant_error {
+ public:
+  watchdog_error(const std::string& what, std::string phase_label, int phase,
+                 int round, int idle_rounds)
+      : invariant_error(what),
+        phase_label(std::move(phase_label)),
+        phase(phase),
+        round(round),
+        idle_rounds(idle_rounds) {}
+
+  std::string phase_label;
+  int phase;
+  int round;        ///< round the watchdog tripped at
+  int idle_rounds;  ///< consecutive progress-free rounds observed
+};
+
+/// Seeded, deterministic fault schedule. Install on a session with
+/// Runtime::set_fault_plan / ScopedFaultPlan, or per-run via
+/// Knobs::fault_plan (direct synchronous calls) / JobSpec::fault_plan (the
+/// service, which owns salting the plan per retry attempt).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Attempt separator: mixed into every probabilistic decision. The
+  /// service sets it to the retry attempt number.
+  int salt = 0;
+
+  /// Per-(phase, round, shard) probability that a shard sweep fails.
+  double shard_failure_rate = 0.0;
+  /// Per-(phase, round, shard) probability of an injected bad_alloc.
+  double alloc_failure_rate = 0.0;
+  /// Per-(phase, round, shard) probability the sweep stalls stall_us first.
+  double stall_rate = 0.0;
+  /// Per-(phase, delivery round) probability that one freshly-sent message
+  /// is dropped at the boundary. Keyed on the round alone (not the shard)
+  /// and applied to a canonically-chosen slot, so the same plan injects the
+  /// same drop at any shard count.
+  double drop_rate = 0.0;
+  /// Per-(phase, delivery round) probability that one payload word of a
+  /// freshly-sent message is bit-flipped at the boundary.
+  double corrupt_rate = 0.0;
+
+  /// Stall duration for kStall faults, microseconds.
+  int stall_us = 200;
+  /// Arm the per-round XOR checksum lane. On: every injected (or
+  /// environmental) drop/corruption is detected at the delivery boundary
+  /// and raised as corruption_error before any step() sees damaged data.
+  /// Off: drops/corruptions silently alter delivery -- for tests that prove
+  /// the lane is what detects them.
+  bool checksum = true;
+
+  /// Exactly-scheduled fault: fires when (phase, round) match -- and, for
+  /// the shard-keyed kinds, the shard -- regardless of the rates. salt = -1
+  /// fires on every retry attempt; salt >= 0 only on that attempt.
+  struct Scheduled {
+    FaultKind kind = FaultKind::kShardFailure;
+    int phase = 0;
+    int round = 0;
+    int shard = -1;  ///< -1 matches any shard (message kinds ignore it)
+    int salt = -1;
+  };
+  std::vector<Scheduled> scheduled;
+
+  /// True when this plan can inject anything (rates or schedule non-empty).
+  bool armed() const {
+    return shard_failure_rate > 0 || alloc_failure_rate > 0 || stall_rate > 0 ||
+           drop_rate > 0 || corrupt_rate > 0 || !scheduled.empty();
+  }
+
+  /// Deterministic decision hash for (kind, phase, round, shard) under this
+  /// plan's seed and salt. Also the victim-selection hash for message kinds.
+  std::uint64_t decision_hash(FaultKind kind, int phase, int round,
+                              int shard) const {
+    using detail::digest_mix;
+    std::uint64_t h = digest_mix(seed, 0x6476636641554c54ULL /* "dvcfFALT" */);
+    h = digest_mix(h, static_cast<std::uint64_t>(salt));
+    h = digest_mix(h, static_cast<std::uint64_t>(kind));
+    h = digest_mix(h, static_cast<std::uint64_t>(phase));
+    h = digest_mix(h, static_cast<std::uint64_t>(round));
+    h = digest_mix(h, static_cast<std::uint64_t>(shard));
+    return h;
+  }
+
+  /// Whether a fault of `kind` fires at (phase, round, shard). Message-level
+  /// kinds pass shard = -1.
+  bool fires(FaultKind kind, int phase, int round, int shard) const {
+    for (const Scheduled& s : scheduled) {
+      if (s.kind == kind && s.phase == phase && s.round == round &&
+          (s.shard < 0 || s.shard == shard) &&
+          (s.salt < 0 || s.salt == salt)) {
+        return true;
+      }
+    }
+    const double rate = kind == FaultKind::kShardFailure ? shard_failure_rate
+                        : kind == FaultKind::kAllocFailure ? alloc_failure_rate
+                        : kind == FaultKind::kStall        ? stall_rate
+                        : kind == FaultKind::kMessageDrop  ? drop_rate
+                                                           : corrupt_rate;
+    if (rate <= 0) return false;
+    // Top 53 bits -> uniform double in [0, 1).
+    const double u =
+        static_cast<double>(decision_hash(kind, phase, round, shard) >> 11) *
+        (1.0 / 9007199254740992.0);
+    return u < rate;
+  }
+};
+
+}  // namespace dvc::sim

@@ -1,6 +1,8 @@
 #include "sim/runtime.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <limits>
 
 #include "common/check.hpp"
@@ -33,6 +35,91 @@ constexpr std::uint64_t kGroupedDeliveryFactor = 12;
 constexpr int kTouchSenderShift = 48;
 constexpr std::int64_t kTouchSlotMask =
     (std::int64_t{1} << kTouchSenderShift) - 1;
+
+/// Seed of the per-round XOR checksum lane (see Runtime::do_send /
+/// verify_delivery_checksum): slot identities and payload words are folded
+/// through digest_mix under this seed on the send path, XOR-combined across
+/// shards (order-independent, hence shard-count invariant), and re-derived
+/// from the arena at the delivery boundary.
+constexpr std::uint64_t kLaneSeed = 0x64766c616e65ULL;  // "dvlane"
+
+/// Order-dependent fold of one message's payload, bound to its slot. XORing
+/// these per-slot hashes across all fresh slots yields the round's word
+/// checksum: any dropped slot or flipped payload bit changes it.
+std::uint64_t lane_slot_hash(std::int64_t slot,
+                             std::span<const std::int64_t> words) {
+  std::uint64_t h = kLaneSeed;
+  for (const std::int64_t w : words) {
+    h = dvc::detail::digest_mix(h, std::bit_cast<std::uint64_t>(w));
+  }
+  return dvc::detail::digest_mix(h, static_cast<std::uint64_t>(slot));
+}
+
+// Checkpoint buffer format (see Runtime::checkpoint): little-endian fields,
+// magic + version header, graph fingerprint, boundary state, the serialized
+// PhaseLog, and a trailing fold-of-all-bytes checksum.
+constexpr std::uint64_t kCkptMagic = 0x647663434b505431ULL;  // "dvcCKPT1"
+constexpr std::uint32_t kCkptVersion = 1;
+
+std::uint64_t ckpt_checksum(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = kCkptMagic;
+  for (const std::uint8_t b : bytes) h = dvc::detail::digest_mix(h, b);
+  return h;
+}
+
+struct ByteWriter {
+  std::vector<std::uint8_t> buf;
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+  }
+};
+
+struct ByteReader {
+  std::span<const std::uint8_t> buf;
+  std::size_t pos = 0;
+  void need(std::size_t n) {
+    if (pos + n > buf.size()) {
+      throw dvc::sim::corruption_error(
+          "checkpoint buffer truncated: ran past its end while decoding",
+          /*phase_label=*/"", /*phase=*/-1, /*round=*/-1, 0, 0);
+    }
+  }
+  std::uint8_t u8() {
+    need(1);
+    return buf[pos++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[pos++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[pos++]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return std::bit_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return std::bit_cast<std::int64_t>(u64()); }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(buf.data() + pos), len);
+    pos += len;
+    return s;
+  }
+};
 
 // Depth counter (not a bool) so machinery scopes nest: the round loop is
 // machinery, program callbacks are not, but Ctx::send called from a callback
@@ -161,6 +248,114 @@ void PhaseLog::clear() {
   active_.clear();
   bandwidth_.clear();
   depth_ = 0;
+  // An unfinished checkpoint replay does not survive a reset: the caller is
+  // abandoning the run the replay was verifying.
+  replay_.reset();
+  replay_cursor_ = 0;
+}
+
+void PhaseLog::begin_replay(PhaseLog target) {
+  DVC_REQUIRE(entries_.empty(),
+              "checkpoint replay requires an empty log (reset_log first)");
+  replay_cursor_ = 0;
+  if (target.empty()) {
+    replay_.reset();
+    return;
+  }
+  replay_ = std::make_unique<PhaseLog>(std::move(target));
+}
+
+void PhaseLog::advance_replay() {
+  if (++replay_cursor_ >= replay_->entries_.size()) {
+    // The checkpointed prefix has been fully re-verified; the rest of the
+    // run is new ground.
+    replay_.reset();
+    replay_cursor_ = 0;
+  }
+}
+
+namespace {
+[[noreturn]] void replay_diverged(std::size_t index, std::string_view got_name,
+                                  const std::string& what) {
+  throw invariant_error(
+      "checkpoint replay diverged at log entry " + std::to_string(index) +
+      " ('" + std::string(got_name) + "'): " + what +
+      " -- the resumed run is not bit-identical to the checkpointed run "
+      "(different knobs, scheduler, graph, or nondeterminism)");
+}
+
+template <typename T>
+void replay_check_series(std::size_t index, std::string_view got_name,
+                         const char* series, std::span<const T> want,
+                         const std::vector<T>& got) {
+  if (want.size() != got.size()) {
+    replay_diverged(index, got_name,
+                    std::string(series) + " series length " +
+                        std::to_string(got.size()) + " != checkpointed " +
+                        std::to_string(want.size()));
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (want[i] != got[i]) {
+      replay_diverged(index, got_name,
+                      std::string(series) + " series diverges at step " +
+                          std::to_string(i));
+    }
+  }
+}
+}  // namespace
+
+void PhaseLog::verify_replay_leaf(std::string_view name,
+                                  const RunStats& stats) {
+  const PhaseLog& t = *replay_;
+  const Entry& want = t.entries_[replay_cursor_];
+  const std::size_t i = replay_cursor_;
+  if (t.name(want) != name) {
+    replay_diverged(i, name,
+                    "expected phase '" + std::string(t.name(want)) + "'");
+  }
+  if (want.span) replay_diverged(i, name, "expected an aggregate span here");
+  if (want.depth != depth_) {
+    replay_diverged(i, name,
+                    "nesting depth " + std::to_string(depth_) +
+                        " != checkpointed " + std::to_string(want.depth));
+  }
+  if (want.rounds != stats.rounds || want.messages != stats.messages ||
+      want.words != stats.words || want.work_items != stats.work_items ||
+      want.max_msg_words != stats.max_msg_words) {
+    replay_diverged(
+        i, name,
+        "counters (rounds/messages/words/work_items/max_msg_words) differ: "
+        "got " + std::to_string(stats.rounds) + "/" +
+            std::to_string(stats.messages) + "/" + std::to_string(stats.words) +
+            "/" + std::to_string(stats.work_items) + "/" +
+            std::to_string(stats.max_msg_words) + ", checkpoint has " +
+            std::to_string(want.rounds) + "/" + std::to_string(want.messages) +
+            "/" + std::to_string(want.words) + "/" +
+            std::to_string(want.work_items) + "/" +
+            std::to_string(want.max_msg_words));
+  }
+  replay_check_series<std::int32_t>(i, name, "active_per_round",
+                                    t.active(want), stats.active_per_round);
+  replay_check_series<std::uint64_t>(i, name, "words_per_round",
+                                     t.bandwidth(want), stats.words_per_round);
+  advance_replay();
+}
+
+void PhaseLog::verify_replay_span(std::string_view name) {
+  const PhaseLog& t = *replay_;
+  const Entry& want = t.entries_[replay_cursor_];
+  const std::size_t i = replay_cursor_;
+  if (t.name(want) != name) {
+    replay_diverged(i, name,
+                    "expected phase '" + std::string(t.name(want)) + "'");
+  }
+  if (!want.span) replay_diverged(i, name, "expected a leaf phase here");
+  if (want.depth != depth_) {
+    replay_diverged(i, name,
+                    "nesting depth " + std::to_string(depth_) +
+                        " != checkpointed " + std::to_string(want.depth));
+  }
+  advance_replay();
 }
 
 std::uint32_t PhaseLog::intern(std::string_view name) {
@@ -170,6 +365,7 @@ std::uint32_t PhaseLog::intern(std::string_view name) {
 }
 
 std::size_t PhaseLog::open_span(std::string_view name) {
+  if (replay_) verify_replay_span(name);
   Entry e;
   e.name_off = intern(name);
   e.name_len = static_cast<std::uint32_t>(name.size());
@@ -183,21 +379,31 @@ void PhaseLog::close_span(std::size_t idx) {
   --depth_;
   Entry& e = entries_[idx];
   // Fold direct children only: nested spans were closed first and already
-  // aggregate their own subtrees.
+  // aggregate their own subtrees. Folded into locals then ASSIGNED (not
+  // accumulated) so closing is idempotent on the entry's counters.
+  std::int32_t rounds = 0;
+  std::uint64_t messages = 0, words = 0, work_items = 0;
+  std::uint32_t max_msg_words = 0;
   for (std::size_t j = idx + 1; j < entries_.size();) {
     if (entries_[j].depth <= e.depth) break;
     if (entries_[j].depth == e.depth + 1) {
-      e.rounds += entries_[j].rounds;
-      e.messages += entries_[j].messages;
-      e.words += entries_[j].words;
-      e.work_items += entries_[j].work_items;
-      e.max_msg_words = std::max(e.max_msg_words, entries_[j].max_msg_words);
+      rounds += entries_[j].rounds;
+      messages += entries_[j].messages;
+      words += entries_[j].words;
+      work_items += entries_[j].work_items;
+      max_msg_words = std::max(max_msg_words, entries_[j].max_msg_words);
     }
     j = subtree_end(j);
   }
+  e.rounds = rounds;
+  e.messages = messages;
+  e.words = words;
+  e.work_items = work_items;
+  e.max_msg_words = max_msg_words;
 }
 
 void PhaseLog::record(std::string_view name, const RunStats& stats) {
+  if (replay_) verify_replay_leaf(name, stats);
   Entry e;
   e.name_off = intern(name);
   e.name_len = static_cast<std::uint32_t>(name.size());
@@ -420,6 +626,15 @@ void Runtime::do_send(int shard, V from, int port,
   out.off[s] = static_cast<std::uint32_t>(words.size());
   out.len[s] = static_cast<std::uint32_t>(payload.size());
   words.insert(words.end(), payload.begin(), payload.end());
+  if (fault_armed_ && fault_plan_.checksum) {
+    // Checksum lane: fold what was ACTUALLY sent, before any injector can
+    // touch the arena. XOR-combined across slots and shards, so the totals
+    // are delivery-order and shard-count invariant.
+    sh.lane_count += 1;
+    sh.lane_xor_slots ^=
+        detail::digest_mix(kLaneSeed, static_cast<std::uint64_t>(s));
+    sh.lane_xor_words ^= lane_slot_hash(static_cast<std::int64_t>(s), payload);
+  }
   if (record_touched_) {
     // Sender-driven delivery index: slot + receiver (read from the
     // sender's own cached adjacency row, so the gather never pays a
@@ -454,6 +669,7 @@ void Runtime::do_halt(int shard, V v) {
 void Runtime::run_shard_phase(int shard, VertexProgram& program, bool is_begin) {
   Shard& sh = shards_[static_cast<std::size_t>(shard)];
   try {
+    if (fault_armed_) inject_shard_faults(shard, round_);
     if (is_begin) {
       for (V v = sh.first; v < sh.last; ++v) {
         Ctx ctx(*this, shard, v);
@@ -735,10 +951,35 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
   // Phase-boundary interrupt poll: a cancelled/expired job aborts here by
   // throwing, before this phase touches any session state -- the session
   // stays warm and reusable, the already-recorded phases stay untouched.
+  // (Polled before the label/index bookkeeping below: an aborted phase
+  // never started, so it must not consume a phase index or relabel the
+  // session's failure context.)
   if (interrupt_) {
     ProgramScope callback;
     interrupt_();
   }
+  phase_label_.assign(label);
+  phase_cur_ = phase_index_++;
+  try {
+    return run_phase_body(program, max_rounds, label);
+  } catch (const bandwidth_error& e) {
+    throw bandwidth_error("in phase '" + phase_label_ + "' (phase " +
+                              std::to_string(phase_cur_) + "): " + e.what(),
+                          e.vertex, e.port, e.round, e.words, e.cap,
+                          e.from_contract);
+  } catch (const watchdog_error&) {
+    throw;  // constructed with the phase context already baked in
+  } catch (const invariant_error& e) {
+    throw invariant_error("in phase '" + phase_label_ + "' (phase " +
+                          std::to_string(phase_cur_) + "): " + e.what());
+  }
+  // Everything else -- transient faults (which carry their own phase
+  // fields), bad_alloc, preconditions, and non-std interrupt payloads --
+  // propagates untouched.
+}
+
+const RunStats& Runtime::run_phase_body(VertexProgram& program, int max_rounds,
+                                        std::string_view label) {
   const V n = g_->num_vertices();
   // Per-phase reset without freeing: every container below keeps its
   // capacity from earlier phases of this session. Epoch arenas are not
@@ -766,6 +1007,15 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
   live_ = n;
   round_ = 0;
   phase_sparse_ = scheduler_ == Scheduler::kSparse;
+  idle_rounds_ = 0;
+  lane_valid_ = false;
+  if (fault_armed_) {
+    for (Shard& sh : shards_) {
+      sh.lane_count = 0;
+      sh.lane_xor_slots = 0;
+      sh.lane_xor_words = 0;
+    }
+  }
   stats_.rounds = 0;
   stats_.messages = 0;
   stats_.words = 0;
@@ -798,13 +1048,17 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
   // Begin() has no message history to predict from; record (capped), so a
   // halt-heavy begin can hand round 1 a grouped delivery. touch_idx_ok_
   // gates the whole index: a slot space past 32 bits delivers by port scan.
-  record_touched_ = phase_sparse_ && touch_idx_ok_;
+  // An armed fault plan forces epoch-scan delivery for the whole phase:
+  // injected drops rewind a slot's epoch stamp, which the grouped
+  // (index-driven) path would not re-read.
+  record_touched_ = phase_sparse_ && touch_idx_ok_ && !fault_armed_;
   arenas_[1].indexed = record_touched_;
   std::uint64_t words_before = stats_.words;
   std::uint64_t msgs_before = stats_.messages;
   dispatch(Job::kBegin);
   merge_shards();
   stats_.words_per_round.push_back(stats_.words - words_before);
+  if (fault_armed_) snapshot_send_lane_and_inject(round_ + 1);
 
   while (live_ > 0) {
     DVC_ENSURE(round_ < max_rounds,
@@ -829,15 +1083,38 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
       std::uint64_t total_ports = 0;
       for (const Shard& sh : shards_) total_ports += sh.live_ports;
       const std::uint64_t last_msgs = stats_.messages - msgs_before;
-      record_touched_ =
-          touch_idx_ok_ && last_msgs * kTouchRecordFactor <= total_ports;
+      record_touched_ = touch_idx_ok_ && !fault_armed_ &&
+                        last_msgs * kTouchRecordFactor <= total_ports;
     }
     out.indexed = record_touched_;
+    // Delivery-boundary integrity check: what this round is about to
+    // deliver must match what last round's senders recorded in the lane.
+    if (lane_valid_) verify_delivery_checksum();
     words_before = stats_.words;
     msgs_before = stats_.messages;
+    const V live_before = live_;
     dispatch(Job::kStep);
     merge_shards();
     stats_.words_per_round.push_back(stats_.words - words_before);
+    if (fault_armed_) snapshot_send_lane_and_inject(round_ + 1);
+    if (watchdog_idle_rounds_ > 0) {
+      // Progress = somebody halted or somebody spoke. A phase that does
+      // neither for the configured stretch is burning rounds toward the
+      // round cap with no signal it will ever converge.
+      const bool progressed =
+          live_ != live_before || stats_.messages != msgs_before;
+      idle_rounds_ = progressed ? 0 : idle_rounds_ + 1;
+      if (idle_rounds_ >= watchdog_idle_rounds_) {
+        throw watchdog_error(
+            "watchdog: " + std::to_string(idle_rounds_) +
+                " consecutive rounds without progress (no halts, no "
+                "messages) in phase '" + phase_label_ + "' (phase " +
+                std::to_string(phase_cur_) + "), round " +
+                std::to_string(round_) + " of " + program.name() +
+                " -- runaway phase converted to a structural failure",
+            phase_label_, phase_cur_, round_, idle_rounds_);
+      }
+    }
     if (observer_) {
       ProgramScope callback;
       observer_(round_);
@@ -851,6 +1128,280 @@ const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds,
 
 const RunStats& Runtime::run_phase(VertexProgram& program, int max_rounds) {
   return run_phase(program, max_rounds, program.name());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (see sim/fault.hpp and DESIGN.md, "Fault model & recovery")
+
+void Runtime::inject_shard_faults(int shard, int round) {
+  // Stall first (a slow shard still computes -- the chaos tests assert a
+  // stall is output-invisible), then the fatal kinds.
+  if (fault_plan_.fires(FaultKind::kStall, phase_cur_, round, shard)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(fault_plan_.stall_us));
+  }
+  if (fault_plan_.fires(FaultKind::kAllocFailure, phase_cur_, round, shard)) {
+    // The standard library type, so injected and genuine memory exhaustion
+    // share one recovery path through the service's transient classifier.
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    throw std::bad_alloc{};
+  }
+  if (fault_plan_.fires(FaultKind::kShardFailure, phase_cur_, round, shard)) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    throw fault_error(
+        "injected fault: shard " + std::to_string(shard) +
+            " failed entering round " + std::to_string(round) +
+            " of phase '" + phase_label_ + "' (phase " +
+            std::to_string(phase_cur_) + ")",
+        FaultKind::kShardFailure, phase_label_, phase_cur_, round, shard);
+  }
+}
+
+std::uint64_t Runtime::lane_hash_slot(const Arena& a, std::int64_t s) const {
+  const auto si = static_cast<std::size_t>(s);
+  const std::size_t sender =
+      num_shards_ == 1
+          ? 0
+          : static_cast<std::size_t>(
+                shard_of(g_->slot_owner(g_->mirror_slot(s))));
+  const auto& words = a.words[sender];
+  return lane_slot_hash(
+      s, std::span<const std::int64_t>(words.data() + a.off[si], a.len[si]));
+}
+
+void Runtime::snapshot_send_lane_and_inject(int delivery_round) {
+  if (fault_plan_.checksum) {
+    // Fold the per-shard send accumulators into the expected lane totals
+    // for the upcoming delivery boundary. XOR-combining keeps the fold
+    // independent of shard count and merge order.
+    lane_count_ = 0;
+    lane_xor_slots_ = 0;
+    lane_xor_words_ = 0;
+    for (Shard& sh : shards_) {
+      lane_count_ += sh.lane_count;
+      lane_xor_slots_ ^= sh.lane_xor_slots;
+      lane_xor_words_ ^= sh.lane_xor_words;
+      sh.lane_count = 0;
+      sh.lane_xor_slots = 0;
+      sh.lane_xor_words = 0;
+    }
+    lane_valid_ = true;
+  }
+  // Message-level faults are keyed on (phase, delivery round) alone and
+  // pick their victim by canonical slot id, so the same plan injects the
+  // same fault at any shard count.
+  const bool drop = fault_plan_.fires(FaultKind::kMessageDrop, phase_cur_,
+                                      delivery_round, /*shard=*/-1);
+  const bool corrupt = fault_plan_.fires(FaultKind::kMessageCorrupt,
+                                         phase_cur_, delivery_round,
+                                         /*shard=*/-1);
+  if (!drop && !corrupt) return;
+  Arena& out = arenas_[1 - in_idx_];
+  const std::int32_t stamp = stamp_base_ + round_;
+  std::vector<std::int64_t> fresh;  // fault path only; allocation is fine
+  for (std::int64_t s = 0; s < slots_; ++s) {
+    if (out.epoch[s] == stamp) fresh.push_back(s);
+  }
+  if (fresh.empty()) return;
+  std::size_t dropped = fresh.size();  // sentinel: nothing dropped
+  if (drop) {
+    const std::uint64_t h = fault_plan_.decision_hash(
+        FaultKind::kMessageDrop, phase_cur_, delivery_round, /*shard=*/-2);
+    dropped = static_cast<std::size_t>(h % fresh.size());
+    // Rewinding the epoch un-sends the message: the delivery sweep wants
+    // exactly `stamp`, and `stamp - 1` can never be a live stamp for this
+    // arena (its previous stamps are at least 2 behind).
+    out.epoch[fresh[dropped]] = stamp - 1;
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (corrupt) {
+    const std::uint64_t h = fault_plan_.decision_hash(
+        FaultKind::kMessageCorrupt, phase_cur_, delivery_round, /*shard=*/-2);
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      const std::size_t idx = static_cast<std::size_t>((h + k) % fresh.size());
+      if (idx == dropped) continue;  // corrupting a dropped slot is invisible
+      const std::int64_t s = fresh[idx];
+      const auto si = static_cast<std::size_t>(s);
+      if (out.len[si] == 0) continue;  // zero-word message: no bit to flip
+      const std::size_t sender =
+          num_shards_ == 1
+              ? 0
+              : static_cast<std::size_t>(
+                    shard_of(g_->slot_owner(g_->mirror_slot(s))));
+      const std::size_t word =
+          static_cast<std::size_t>((h >> 17) % out.len[si]);
+      // XOR with a nonzero mask: the payload word provably changes.
+      out.words[sender][out.off[si] + word] ^=
+          static_cast<std::int64_t>(h | 1);
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+}
+
+void Runtime::verify_delivery_checksum() {
+  lane_valid_ = false;
+  const Arena& in = arenas_[in_idx_];
+  const std::int32_t want = stamp_base_ + round_ - 1;
+  std::uint64_t count = 0, xor_slots = 0, xor_words = 0;
+  for (std::int64_t s = 0; s < slots_; ++s) {
+    if (in.epoch[s] != want) continue;
+    ++count;
+    xor_slots ^= detail::digest_mix(kLaneSeed, static_cast<std::uint64_t>(s));
+    xor_words ^= lane_hash_slot(in, s);
+  }
+  if (count != lane_count_ || xor_slots != lane_xor_slots_ ||
+      xor_words != lane_xor_words_) {
+    std::string what =
+        "message checksum lane mismatch at the delivery boundary of round " +
+        std::to_string(round_) + " in phase '" + phase_label_ + "' (phase " +
+        std::to_string(phase_cur_) + "): senders recorded " +
+        std::to_string(lane_count_) + " messages, delivery observes " +
+        std::to_string(count);
+    what += count == lane_count_
+                ? " with a payload/slot hash mismatch -- a message was "
+                  "corrupted in the mailbox"
+                : " -- a message was dropped in the mailbox";
+    throw corruption_error(what, phase_label_, phase_cur_, round_,
+                           lane_count_, count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Phase-boundary checkpoint/resume
+
+std::vector<std::uint8_t> Runtime::checkpoint() const {
+  DVC_REQUIRE(!log_.replaying(),
+              "checkpoint while an earlier resume is still replaying -- the "
+              "prefix under verification is not yet trustworthy");
+  ByteWriter w;
+  w.u64(kCkptMagic);
+  w.u32(kCkptVersion);
+  // Graph binding fingerprint: a checkpoint only resumes onto a session for
+  // the same graph (digest + shape double-check).
+  w.u64(g_->digest());
+  w.i64(static_cast<std::int64_t>(g_->num_vertices()));
+  w.i64(slots_);
+  // Session configuration at the boundary.
+  w.i32(static_cast<std::int32_t>(scheduler_));
+  w.i32(congest_words_);
+  // Epoch-stamp base: at a phase boundary every arena cell is stale BY
+  // CONSTRUCTION relative to this base (the stamp guard advanced it past
+  // everything the last phase wrote), so the base alone captures the epoch
+  // state; per-slot stamps and per-phase vertex scratch are canonically
+  // empty at a boundary and need no bytes.
+  w.i32(stamp_base_);
+  w.u32(static_cast<std::uint32_t>(phase_index_));
+  // Halted/live state at the boundary.
+  w.u64(halted_.size());
+  for (const std::uint8_t h : halted_) w.u8(h);
+  // The full PhaseLog: entries with inline name + per-round series.
+  w.u64(log_.entries_.size());
+  for (const PhaseLog::Entry& e : log_.entries_) {
+    w.str(log_.name(e));
+    w.i32(e.depth);
+    w.u8(e.span ? 1 : 0);
+    w.i32(e.rounds);
+    w.u64(e.messages);
+    w.u64(e.words);
+    w.u64(e.work_items);
+    w.u32(e.max_msg_words);
+    const auto a = log_.active(e);
+    w.u32(static_cast<std::uint32_t>(a.size()));
+    for (const std::int32_t x : a) w.i32(x);
+    const auto b = log_.bandwidth(e);
+    w.u32(static_cast<std::uint32_t>(b.size()));
+    for (const std::uint64_t x : b) w.u64(x);
+  }
+  w.u64(ckpt_checksum(w.buf));
+  return std::move(w.buf);
+}
+
+void Runtime::resume(std::span<const std::uint8_t> buffer) {
+  DVC_REQUIRE(log_.empty(),
+              "resume requires an empty session log (fresh session, or "
+              "reset_log first)");
+  DVC_REQUIRE(buffer.size() >= 8 + 4 + 8,
+              "resume buffer is too small to be a checkpoint");
+  // Verify the trailing content checksum before trusting a single field.
+  const std::span<const std::uint8_t> body = buffer.first(buffer.size() - 8);
+  std::uint64_t want_sum = 0;
+  for (int i = 0; i < 8; ++i) {
+    want_sum |= static_cast<std::uint64_t>(buffer[body.size() + i]) << (8 * i);
+  }
+  if (ckpt_checksum(body) != want_sum) {
+    throw corruption_error(
+        "checkpoint buffer failed its content checksum -- the bytes were "
+        "corrupted between checkpoint() and resume()",
+        /*phase_label=*/"", /*phase=*/-1, /*round=*/-1, 0, 0);
+  }
+  ByteReader r{body};
+  if (r.u64() != kCkptMagic) {
+    throw precondition_error("resume: buffer is not a dvc checkpoint");
+  }
+  const std::uint32_t version = r.u32();
+  DVC_REQUIRE(version == kCkptVersion,
+              "resume: unsupported checkpoint version " +
+                  std::to_string(version));
+  DVC_REQUIRE(r.u64() == g_->digest(),
+              "resume: checkpoint was taken for a different graph (digest "
+              "mismatch)");
+  DVC_REQUIRE(r.i64() == static_cast<std::int64_t>(g_->num_vertices()),
+              "resume: vertex count mismatch");
+  DVC_REQUIRE(r.i64() == slots_, "resume: slot count mismatch");
+  const std::int32_t sched = r.i32();
+  DVC_REQUIRE(sched == static_cast<std::int32_t>(Scheduler::kSparse) ||
+                  sched == static_cast<std::int32_t>(Scheduler::kDense),
+              "resume: invalid scheduler in checkpoint");
+  scheduler_ = static_cast<Scheduler>(sched);
+  congest_words_ = r.i32();
+  // Monotonic: the restored base can only move this session's stamps
+  // forward, never behind cells this session already wrote.
+  stamp_base_ = std::max(stamp_base_, r.i32());
+  r.u32();  // checkpointed phase_index: informational; replay re-runs from 0
+  const std::uint64_t hn = r.u64();
+  DVC_REQUIRE(hn == halted_.size(), "resume: halted bitmap size mismatch");
+  V live = 0;
+  for (std::size_t i = 0; i < halted_.size(); ++i) {
+    halted_[i] = r.u8();
+    if (!halted_[i]) ++live;
+  }
+  live_ = live;
+  // Rebuild the checkpointed PhaseLog and arm replay verification: the
+  // caller re-runs its pipeline from the top, and every re-recorded phase
+  // is matched against this target as it lands (see PhaseLog::replaying).
+  const std::uint64_t entries = r.u64();
+  PhaseLog target;
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    const std::string name = r.str();
+    PhaseLog::Entry e;
+    e.name_off = target.intern(name);
+    e.name_len = static_cast<std::uint32_t>(name.size());
+    e.depth = r.i32();
+    e.span = r.u8() != 0;
+    e.rounds = r.i32();
+    e.messages = r.u64();
+    e.words = r.u64();
+    e.work_items = r.u64();
+    e.max_msg_words = r.u32();
+    const std::uint32_t alen = r.u32();
+    e.active_off =
+        alen == 0 ? 0 : static_cast<std::uint32_t>(target.active_.size());
+    e.active_len = alen;
+    for (std::uint32_t j = 0; j < alen; ++j) target.active_.push_back(r.i32());
+    const std::uint32_t blen = r.u32();
+    e.bw_off =
+        blen == 0 ? 0 : static_cast<std::uint32_t>(target.bandwidth_.size());
+    e.bw_len = blen;
+    for (std::uint32_t j = 0; j < blen; ++j) {
+      target.bandwidth_.push_back(r.u64());
+    }
+    target.entries_.push_back(e);
+  }
+  DVC_REQUIRE(r.pos == body.size(),
+              "resume: trailing bytes after the checkpoint payload");
+  log_.begin_replay(std::move(target));
 }
 
 Runtime::MemoryBreakdown Runtime::memory_breakdown() const {

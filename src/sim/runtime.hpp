@@ -88,6 +88,7 @@
 
 #include "common/check.hpp"
 #include "graph/graph.hpp"
+#include "sim/fault.hpp"
 
 namespace dvc::sim {
 
@@ -221,6 +222,29 @@ int default_round_cap(V n, int scale = 1);
 /// of entries with strictly greater depth.
 class PhaseLog {
  public:
+  PhaseLog() = default;
+  /// Copies log CONTENT only: replay-verification state (see replaying())
+  /// is session-internal and never travels with a copy -- result
+  /// snapshots, slices and cache entries are plain logs.
+  PhaseLog(const PhaseLog& other)
+      : entries_(other.entries_),
+        names_(other.names_),
+        active_(other.active_),
+        bandwidth_(other.bandwidth_),
+        depth_(other.depth_) {}
+  PhaseLog& operator=(const PhaseLog& other) {
+    entries_ = other.entries_;
+    names_ = other.names_;
+    active_ = other.active_;
+    bandwidth_ = other.bandwidth_;
+    depth_ = other.depth_;
+    replay_.reset();
+    replay_cursor_ = 0;
+    return *this;
+  }
+  PhaseLog(PhaseLog&&) = default;
+  PhaseLog& operator=(PhaseLog&&) = default;
+
   struct Entry {
     std::uint32_t name_off = 0;
     std::uint32_t name_len = 0;
@@ -303,16 +327,50 @@ class PhaseLog {
   /// Appends a leaf entry at the current depth.
   void record(std::string_view name, const RunStats& stats);
 
-  friend bool operator==(const PhaseLog&, const PhaseLog&) = default;
+  /// Replay verification (checkpoint resume, see Runtime::resume): the log
+  /// starts EMPTY and re-fills normally as phases re-execute, but every
+  /// appended entry is additionally matched against the restored target log
+  /// at a cursor -- any divergence (name, counters, or per-round series)
+  /// throws invariant_error, so a resumed run that would not be bit-
+  /// identical to the original fails loudly instead of silently. The
+  /// restored entries are held aside (never visible through size()/
+  /// operator[]), so drivers that slice the log from a recorded mark keep
+  /// working. Replay ends when the cursor exhausts the target.
+  bool replaying() const { return replay_ != nullptr; }
+
+  /// Semantic comparison (names + counters + series via the public
+  /// accessors): entries_/names_/active_/bandwidth_/depth_, ignoring any
+  /// replay-verification state. Written out manually because the replay
+  /// members make the defaulted memberwise comparison both ill-formed
+  /// (unique_ptr) and wrong (replay state is not log content).
+  friend bool operator==(const PhaseLog& a, const PhaseLog& b) {
+    return a.entries_ == b.entries_ && a.names_ == b.names_ &&
+           a.active_ == b.active_ && a.bandwidth_ == b.bandwidth_ &&
+           a.depth_ == b.depth_;
+  }
 
  private:
+  friend class Runtime;  // checkpoint serialization + replay installation
+
   std::uint32_t intern(std::string_view name);
+  /// Installs `target` as the replay-verification target (requires empty()).
+  void begin_replay(PhaseLog target);
+  /// Match an incoming leaf/span against the replay target at the cursor
+  /// BEFORE it is appended; throws invariant_error on divergence. Spans are
+  /// verified on name/depth/shape only -- their counters are a pure fold of
+  /// their (verified) leaves.
+  void verify_replay_leaf(std::string_view name, const RunStats& stats);
+  void verify_replay_span(std::string_view name);
+  void advance_replay();
 
   std::vector<Entry> entries_;
   std::vector<char> names_;
   std::vector<std::int32_t> active_;
   std::vector<std::uint64_t> bandwidth_;
   std::int32_t depth_ = 0;
+  /// Checkpoint-replay target and cursor (null/0 when not replaying).
+  std::unique_ptr<PhaseLog> replay_;
+  std::size_t replay_cursor_ = 0;
 };
 
 /// One received message: the port it arrived on and its payload words.
@@ -446,8 +504,16 @@ class Runtime {
   PhaseLog& log() { return log_; }
   const PhaseLog& log() const { return log_; }
   /// Forgets recorded phases but keeps log arena capacity (warm reuse
-  /// across pipeline repetitions, e.g. batched runs).
-  void reset_log() { log_.clear(); }
+  /// across pipeline repetitions, e.g. batched runs). Also restarts the
+  /// phase counter, so fault-plan phase indices and phase-label context
+  /// describe positions in the CURRENT pipeline -- a warm pooled session
+  /// behaves exactly like a fresh one (the bit-identity contract).
+  void reset_log() {
+    log_.clear();
+    phase_index_ = 0;
+    phase_cur_ = 0;
+    phase_label_.clear();
+  }
 
   /// Called after every completed round (post stats merge) with the round
   /// number; used by tests to probe per-round behaviour such as allocation
@@ -469,6 +535,66 @@ class Runtime {
   /// (see ScopedInterrupt).
   void set_interrupt(std::function<void()> hook) { interrupt_ = std::move(hook); }
   bool has_interrupt() const { return static_cast<bool>(interrupt_); }
+
+  /// Installs a deterministic fault schedule for subsequent run_phase calls
+  /// (see sim/fault.hpp). Faults reproduce bit-identically: every decision
+  /// is a pure hash of (seed, salt, kind, phase, round, shard), and the
+  /// message-level kinds (drops, corruptions) pick victims by canonical
+  /// slot id so the same plan injects the same fault at any shard count.
+  /// While a plan with message faults or checksum is armed the sparse
+  /// scheduler's grouped delivery is disabled (delivery must re-read the
+  /// epoch stamps the injector rewinds); outputs are unchanged, per the
+  /// scheduler bit-identity contract. Pass a default-constructed plan to
+  /// clear; sessions handed across jobs must clear it (see ScopedFaultPlan).
+  void set_fault_plan(FaultPlan plan) {
+    fault_plan_ = std::move(plan);
+    fault_armed_ = fault_plan_.armed();
+  }
+  const FaultPlan& fault_plan() const { return fault_plan_; }
+  /// Count of faults this session has injected (all kinds, all phases).
+  std::uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Arms the progress watchdog: if `rounds` > 0 and that many CONSECUTIVE
+  /// rounds complete in which no vertex halts and no message is sent, the
+  /// phase throws watchdog_error -- converting a runaway program (burning
+  /// rounds toward the round cap without any progress signal) into a prompt
+  /// structural failure. 0 disables (the default). Deterministic: the
+  /// trigger depends only on per-round halt/message counts.
+  void set_watchdog_idle_rounds(int rounds) {
+    watchdog_idle_rounds_ = rounds < 0 ? 0 : rounds;
+  }
+  int watchdog_idle_rounds() const { return watchdog_idle_rounds_; }
+
+  /// Label of the most recently started phase (empty before the first
+  /// run_phase). Survives a throwing phase, so error handlers can report
+  /// which phase of a pipeline failed without parsing messages.
+  std::string_view last_phase() const { return phase_label_; }
+  /// Number of run_phase calls started on this session (the phase index
+  /// fault plans key on: the next phase to run has index phases_run()).
+  int phases_run() const { return phase_index_; }
+
+  /// Serializes the session's phase-boundary state -- graph binding
+  /// fingerprint, scheduler and CONGEST budget, halted/live state, epoch
+  /// stamp base, and the full PhaseLog -- into a flat byte buffer with a
+  /// trailing content checksum. Only meaningful AT a phase boundary (which
+  /// is the only place callers can run: run_phase is synchronous), e.g.
+  /// from the interrupt hook or after catching a phase error. Requires
+  /// that the session is not itself mid-replay of an earlier resume.
+  std::vector<std::uint8_t> checkpoint() const;
+
+  /// Restores a checkpoint()'d buffer into this session and arms replay
+  /// verification: the phases already recorded in the checkpoint are
+  /// re-executed by the caller (resume restores boundary state, then the
+  /// caller re-runs its pipeline from the top) and every re-recorded phase
+  /// is verified bit-identical -- name, counters and per-round series --
+  /// against the checkpoint as it lands, throwing invariant_error on the
+  /// first divergence. The session must be freshly constructed or
+  /// reset_log()'d for the same graph (digest-checked). Throws
+  /// precondition_error on a foreign/incompatible buffer and
+  /// corruption_error on a checksum mismatch.
+  void resume(std::span<const std::uint8_t> buffer);
 
   /// Worker threads owned by this session (== shards() - 1; spawned once at
   /// construction, parked between phases).
@@ -586,6 +712,14 @@ class Runtime {
     std::uint32_t max_msg_words = 0;
     V newly_halted = 0;
     std::exception_ptr error;
+    /// Checksum-lane accumulators (fault plans with checksum only): what
+    /// this shard SENT this round, folded order-independently (count sums,
+    /// slot/word hashes XOR) so the cross-shard total is shard-count
+    /// invariant. Snapshotted and reset by the round loop before faults are
+    /// injected, then compared against what delivery OBSERVES.
+    std::uint64_t lane_count = 0;
+    std::uint64_t lane_xor_slots = 0;
+    std::uint64_t lane_xor_words = 0;
     /// Sparse scheduler: the shard's non-halted vertices in ascending
     /// (canonical) order. Rebuilt after begin(), then compacted in place
     /// during each step sweep -- a vertex can only halt itself, so the
@@ -631,6 +765,23 @@ class Runtime {
   /// Dispatches one job (init/begin/step sweep) across the parked pool (or
   /// runs it inline when single-sharded).
   void dispatch(Job job);
+  /// Everything of run_phase after the label/index bookkeeping; split out so
+  /// run_phase can wrap it and annotate escaping invariant_errors with the
+  /// phase label.
+  const RunStats& run_phase_body(VertexProgram& program, int max_rounds,
+                                 std::string_view label);
+  /// Fault-plan hooks (no-ops unless a plan is armed). inject_shard_faults
+  /// runs at sweep entry on the shard's own thread; the message-fault pair
+  /// runs serially in the round loop: snapshot_send_lane folds the shards'
+  /// send accumulators into lane_expected_ and applies scheduled/random
+  /// drops and corruptions to the freshly-written out arena;
+  /// verify_delivery_checksum re-derives the lane from the in arena at the
+  /// next delivery boundary and throws corruption_error on mismatch.
+  void inject_shard_faults(int shard, int round);
+  void snapshot_send_lane_and_inject(int delivery_round);
+  void verify_delivery_checksum();
+  /// Order-independent fold of one slot's payload for the checksum lane.
+  std::uint64_t lane_hash_slot(const Arena& a, std::int64_t s) const;
 
   const Graph* g_;
   int num_shards_ = 1;
@@ -680,6 +831,25 @@ class Runtime {
   PhaseLog log_;
   std::function<void(int)> observer_;
   std::function<void()> interrupt_;
+  /// Fault-injection state (see sim/fault.hpp). phase_cur_ is the index of
+  /// the phase currently executing (the value phase_index_ had when it
+  /// started); phase_label_ its label, kept after the phase ends so error
+  /// paths can attribute failures.
+  FaultPlan fault_plan_;
+  bool fault_armed_ = false;
+  std::atomic<std::uint64_t> faults_injected_{0};
+  int phase_index_ = 0;
+  int phase_cur_ = 0;
+  std::string phase_label_;
+  /// Progress watchdog (0 = off) and its consecutive-idle-round counter.
+  int watchdog_idle_rounds_ = 0;
+  int idle_rounds_ = 0;
+  /// Expected delivery lane of the in-flight round (what was sent, folded
+  /// before injection); valid only while lane_valid_.
+  std::uint64_t lane_count_ = 0;
+  std::uint64_t lane_xor_slots_ = 0;
+  std::uint64_t lane_xor_words_ = 0;
+  bool lane_valid_ = false;
   /// Session CONGEST budget (0 = LOCAL) and the per-phase effective
   /// per-message cap derived from it and the program contract: the
   /// tighter of the two positives, or int64 max when both are 0.
@@ -791,6 +961,58 @@ class ScopedCongestWords {
   }
   ScopedCongestWords(const ScopedCongestWords&) = delete;
   ScopedCongestWords& operator=(const ScopedCongestWords&) = delete;
+
+ private:
+  Runtime* rt_;
+  int previous_;
+  bool active_;
+};
+
+/// Scoped install of a session's fault plan, restoring the previous plan on
+/// destruction (including unwinding out of an injected fault) -- so a
+/// pooled session handed to the next job can never inherit the previous
+/// job's fault schedule. A null/unarmed plan makes the guard a no-op.
+class ScopedFaultPlan {
+ public:
+  ScopedFaultPlan(Runtime& rt, const FaultPlan* plan)
+      : rt_(&rt), active_(plan != nullptr && plan->armed()) {
+    if (active_) {
+      previous_ = rt_->fault_plan();
+      rt_->set_fault_plan(*plan);
+    }
+  }
+  ScopedFaultPlan(Runtime& rt, FaultPlan plan)
+      : rt_(&rt), active_(plan.armed()) {
+    if (active_) {
+      previous_ = rt_->fault_plan();
+      rt_->set_fault_plan(std::move(plan));
+    }
+  }
+  ~ScopedFaultPlan() {
+    if (active_) rt_->set_fault_plan(std::move(previous_));
+  }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+ private:
+  Runtime* rt_;
+  FaultPlan previous_;
+  bool active_;
+};
+
+/// Scoped arm of a session's progress watchdog; `rounds` <= 0 leaves the
+/// current setting untouched (no-op guard). Restores on destruction.
+class ScopedWatchdog {
+ public:
+  ScopedWatchdog(Runtime& rt, int rounds)
+      : rt_(&rt), previous_(rt.watchdog_idle_rounds()), active_(rounds > 0) {
+    if (active_) rt_->set_watchdog_idle_rounds(rounds);
+  }
+  ~ScopedWatchdog() {
+    if (active_) rt_->set_watchdog_idle_rounds(previous_);
+  }
+  ScopedWatchdog(const ScopedWatchdog&) = delete;
+  ScopedWatchdog& operator=(const ScopedWatchdog&) = delete;
 
  private:
   Runtime* rt_;

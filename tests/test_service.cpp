@@ -833,33 +833,49 @@ TEST(Service, MetricsSnapshotIsCoherent) {
 
 TEST(Runtime, InterruptHookAbortsBetweenPhasesAndSessionStaysSound) {
   const Mixed& m = mixed_graphs()[0];
-  Knobs knobs;
-  knobs.shards = 1;
-  const LegalColoringResult fresh =
-      color_graph(m.g, m.arboricity_bound, Preset::NearLinearColors, knobs);
+  // The abort-and-reuse contract must hold at every executor shape the
+  // service hands out: the single-shard default, and multi-shard sessions
+  // under the sparse scheduler (where interrupt polling shares run_phase's
+  // entry path with the live-list bookkeeping).
+  struct Config {
+    int shards;
+    sim::Scheduler scheduler;
+  };
+  for (const Config cfg : {Config{1, sim::Scheduler::kSession},
+                           Config{2, sim::Scheduler::kSparse},
+                           Config{8, sim::Scheduler::kSparse}}) {
+    SCOPED_TRACE(std::string("shards=") + std::to_string(cfg.shards) +
+                 (cfg.scheduler == sim::Scheduler::kSparse ? " sparse"
+                                                           : " session"));
+    Knobs knobs;
+    knobs.shards = cfg.shards;
+    knobs.scheduler = cfg.scheduler;
+    const LegalColoringResult fresh =
+        color_graph(m.g, m.arboricity_bound, Preset::NearLinearColors, knobs);
 
-  sim::Runtime rt(m.g, 1);
-  // Deterministic mid-pipeline abort: let the first phase start, throw at
-  // the second poll -- i.e. at the boundary before the second phase.
-  int polls = 0;
-  {
-    sim::ScopedInterrupt guard(rt, [&] {
-      if (++polls >= 2) throw std::runtime_error("interrupted for test");
-    });
-    EXPECT_THROW(
-        color_graph(rt, m.arboricity_bound, Preset::NearLinearColors, knobs),
-        std::runtime_error);
+    sim::Runtime rt(m.g, cfg.shards);
+    // Deterministic mid-pipeline abort: let the first phase start, throw at
+    // the second poll -- i.e. at the boundary before the second phase.
+    int polls = 0;
+    {
+      sim::ScopedInterrupt guard(rt, [&] {
+        if (++polls >= 2) throw std::runtime_error("interrupted for test");
+      });
+      EXPECT_THROW(
+          color_graph(rt, m.arboricity_bound, Preset::NearLinearColors, knobs),
+          std::runtime_error);
+    }
+    EXPECT_GE(polls, 2) << "the pipeline has multiple phases to poll between";
+    EXPECT_FALSE(rt.has_interrupt()) << "ScopedInterrupt must clear the hook";
+    // The abandoned run left the session structurally sound: the same
+    // session now produces the fresh-session result bit-for-bit.
+    rt.reset_log();
+    const LegalColoringResult after =
+        color_graph(rt, m.arboricity_bound, Preset::NearLinearColors, knobs);
+    EXPECT_EQ(fresh.colors, after.colors);
+    EXPECT_TRUE(fresh.total == after.total);
+    EXPECT_TRUE(fresh.phases == after.phases);
   }
-  EXPECT_GE(polls, 2) << "the pipeline has multiple phases to poll between";
-  EXPECT_FALSE(rt.has_interrupt()) << "ScopedInterrupt must clear the hook";
-  // The abandoned run left the session structurally sound: the same session
-  // now produces the fresh-session result bit-for-bit.
-  rt.reset_log();
-  const LegalColoringResult after =
-      color_graph(rt, m.arboricity_bound, Preset::NearLinearColors, knobs);
-  EXPECT_EQ(fresh.colors, after.colors);
-  EXPECT_TRUE(fresh.total == after.total);
-  EXPECT_TRUE(fresh.phases == after.phases);
 }
 
 }  // namespace
