@@ -11,8 +11,12 @@
 //                                   series the records report;
 //   * peak_rss_bytes()           -- the process's high-water resident set,
 //                                   for the memory columns of the scale and
-//                                   service benches.
+//                                   service benches;
+//   * peak_rss_with_children_bytes() -- the same plus reaped children, for
+//                                   the multi-process dist bench.
 #pragma once
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
@@ -54,6 +58,28 @@ inline std::int64_t peak_rss_bytes() {
   }
   std::fclose(f);
   return bytes;
+}
+
+/// Peak resident set of the calling process PLUS its reaped children, in
+/// bytes: self VmHWM (as peak_rss_bytes) + getrusage(RUSAGE_CHILDREN)
+/// ru_maxrss. The children term is the kernel's high-water mark over all
+/// WAITED-FOR descendants -- exactly the forked workers of a dist run once
+/// the coordinator has reaped them at the phase boundary -- so call it
+/// AFTER the distributed work completes. Like peak_rss_bytes it returns -1
+/// when the self reading is unavailable; a zero children term just means no
+/// child has been reaped (or none was ever forked). Note the children term
+/// is a MAX over children, not a sum across concurrently-live workers: it
+/// under-reports a W-worker fleet's aggregate footprint but is the only
+/// portable post-hoc reading, and the workers are COW forks of the
+/// coordinator anyway, so their private growth -- the interesting part --
+/// is what the max captures.
+inline std::int64_t peak_rss_with_children_bytes() {
+  const std::int64_t self = peak_rss_bytes();
+  if (self < 0) return -1;
+  struct rusage children {};
+  if (::getrusage(RUSAGE_CHILDREN, &children) != 0) return self;
+  // ru_maxrss is kilobytes on Linux.
+  return self + static_cast<std::int64_t>(children.ru_maxrss) * 1024;
 }
 
 /// Best-of-N wall-clock milliseconds of `fn` (the standard microbench

@@ -79,6 +79,22 @@ class ColeVishkinProgram : public sim::VertexProgram {
 
   Coloring take_colors() { return std::move(colors_); }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    w.i64(colors_[static_cast<std::size_t>(v)]);
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      w.i64(nb_colors_[static_cast<std::size_t>(g_->slot(v, p))]);
+    }
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    colors_[static_cast<std::size_t>(v)] = r.i64();
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      nb_colors_[static_cast<std::size_t>(g_->slot(v, p))] = r.i64();
+    }
+  }
+
  private:
   const Graph* g_;
   V n_;

@@ -62,6 +62,18 @@ class LubyProgram : public sim::VertexProgram {
 
   std::vector<std::uint8_t> take() { return std::move(in_mis_); }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    const auto s = static_cast<std::size_t>(v);
+    w.u8(in_mis_[s]);
+    w.i64(my_priority_[s]);
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    const auto s = static_cast<std::size_t>(v);
+    in_mis_[s] = r.u8();
+    my_priority_[s] = r.i64();
+  }
+
  private:
   void draw_and_announce(sim::Ctx& ctx) {
     const V v = ctx.vertex();

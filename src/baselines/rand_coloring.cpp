@@ -57,6 +57,26 @@ class TrialColoringProgram : public sim::VertexProgram {
   Coloring take_colors() { return std::move(colors_); }
   std::int64_t palette() const { return palette_; }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    const auto s = static_cast<std::size_t>(v);
+    w.i64(colors_[s]);
+    w.i64(proposal_[s]);
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      w.i64(taken_[static_cast<std::size_t>(g_->slot(v, p))]);
+    }
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    const auto s = static_cast<std::size_t>(v);
+    colors_[s] = r.i64();
+    proposal_[s] = r.i64();
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      taken_[static_cast<std::size_t>(g_->slot(v, p))] = r.i64();
+    }
+  }
+
  private:
   void propose(sim::Ctx& ctx) {
     const V v = ctx.vertex();

@@ -11,6 +11,7 @@
 // tests and never silently corrupts a simulation.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -44,7 +45,47 @@ class transient_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Raised when a checksum-guarded byte stream does not match its bytes: the
+/// per-round XOR checksum lane detecting a dropped/flipped message at a
+/// delivery boundary, a checkpoint buffer whose trailing checksum disagrees,
+/// or a truncated/corrupted wire frame. Lives here (not sim/) so the shared
+/// serialization layer (common/wire.hpp) and the transport can throw it
+/// without depending on the simulator; sim re-exports it as
+/// dvc::sim::corruption_error.
+class corruption_error : public transient_error {
+ public:
+  corruption_error(const std::string& what, std::string phase_label, int phase,
+                   int round, std::uint64_t expected_messages,
+                   std::uint64_t observed_messages)
+      : transient_error(what),
+        phase_label(std::move(phase_label)),
+        phase(phase),
+        round(round),
+        expected_messages(expected_messages),
+        observed_messages(observed_messages) {}
+
+  std::string phase_label;
+  int phase;  ///< 0-based phase index (-1 outside any phase, e.g. a buffer)
+  int round;  ///< delivery round the mismatch was detected at
+  std::uint64_t expected_messages;
+  std::uint64_t observed_messages;
+};
+
 namespace detail {
+
+/// splitmix64-based combiner shared by Graph::digest(), the fault-decision
+/// hashes, and the wire/checkpoint checksums: finalizes `x` through the
+/// splitmix64 permutation, then folds it into the running hash `h` with a
+/// position-dependent combine so equal multisets of values at different
+/// stream positions do not collide trivially.
+constexpr std::uint64_t digest_mix(std::uint64_t h, std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return (h ^ x) * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL;
+}
+
 [[noreturn]] inline void fail_require(const char* expr, const char* file, int line,
                                       const std::string& msg) {
   std::ostringstream os;

@@ -1,0 +1,205 @@
+// Shared flat-buffer serialization: little-endian encode/decode, the
+// fold-of-all-bytes checksum, and the framed wire protocol the distributed
+// transport speaks.
+//
+// Hoisted out of sim/runtime.cpp (where the checkpoint format grew them) so
+// checkpoint() and the src/dist/ transport share ONE copy of the byte-level
+// idioms instead of two drifting ones. Everything here is format, not
+// policy: no I/O, no simulator types.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------
+//        0     4  magic      0x46637664 ("dvcF" on the wire)
+//        4     1  version    kFrameVersion
+//        5     1  type       opaque to this layer (dist defines the enum)
+//        6     2  reserved   zero
+//        8     4  phase      int32, -1 when not phase-scoped
+//       12     4  round      int32, -1 when not round-scoped
+//       16     4  length     payload byte count
+//       20   len  payload
+//   20+len     8  checksum   checksum64(kFrameMagic, header+payload)
+//
+// The trailing checksum is the same XOR-style digest_mix fold the checkpoint
+// trailer uses: any flipped bit or truncation anywhere in the frame changes
+// it, and decoding raises dvc::corruption_error -- never silent damage.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dvc::wire {
+
+/// Order-dependent fold of a byte stream under `seed`; the checksum idiom
+/// shared by the checkpoint trailer and the frame trailer.
+inline std::uint64_t checksum64(std::uint64_t seed,
+                                std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : bytes) h = dvc::detail::digest_mix(h, b);
+  return h;
+}
+
+/// Little-endian append-only encoder for flat buffers.
+struct ByteWriter {
+  std::vector<std::uint8_t> buf;
+  void u8(std::uint8_t v) { buf.push_back(v); }
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf.insert(buf.end(), s.begin(), s.end());
+  }
+};
+
+/// Little-endian decoder over a borrowed buffer. Every read is bounds
+/// checked: running past the end raises corruption_error naming `context`
+/// (truncation IS corruption at this layer -- the caller decides whether the
+/// transport maps it to something transient instead).
+struct ByteReader {
+  std::span<const std::uint8_t> buf;
+  std::size_t pos = 0;
+  const char* context = "wire buffer";
+  void need(std::size_t n) {
+    if (pos + n > buf.size()) {
+      throw corruption_error(
+          std::string(context) + " truncated: ran past its end while decoding",
+          /*phase_label=*/"", /*phase=*/-1, /*round=*/-1, 0, 0);
+    }
+  }
+  std::uint8_t u8() {
+    need(1);
+    return buf[pos++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(static_cast<std::uint16_t>(buf[pos++]) << (8 * i));
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[pos++]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[pos++]) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return std::bit_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return std::bit_cast<std::int64_t>(u64()); }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(buf.data() + pos), len);
+    pos += len;
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+
+inline constexpr std::uint32_t kFrameMagic = 0x46637664;  // "dvcF"
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+inline constexpr std::size_t kFrameTrailerBytes = 8;
+/// Sanity cap on a single frame's payload (1 GiB): a length field beyond it
+/// is treated as corruption, not an allocation request.
+inline constexpr std::uint32_t kFrameMaxPayload = 1u << 30;
+
+struct FrameHeader {
+  std::uint8_t type = 0;
+  std::int32_t phase = -1;
+  std::int32_t round = -1;
+  std::uint32_t payload_len = 0;
+};
+
+/// Encode a complete frame: header, payload, trailing checksum.
+inline std::vector<std::uint8_t> encode_frame(
+    std::uint8_t type, std::int32_t phase, std::int32_t round,
+    std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.buf.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  w.u32(kFrameMagic);
+  w.u8(kFrameVersion);
+  w.u8(type);
+  w.u16(0);
+  w.i32(phase);
+  w.i32(round);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.buf.insert(w.buf.end(), payload.begin(), payload.end());
+  w.u64(checksum64(kFrameMagic, w.buf));
+  return std::move(w.buf);
+}
+
+/// Decode and validate the fixed 20-byte header (magic, version, sane
+/// length). Throws corruption_error on any mismatch.
+inline FrameHeader decode_frame_header(std::span<const std::uint8_t> hdr) {
+  ByteReader r{hdr, 0, "frame header"};
+  r.need(kFrameHeaderBytes);
+  FrameHeader h;
+  const std::uint32_t magic = r.u32();
+  if (magic != kFrameMagic) {
+    throw corruption_error("frame header has wrong magic", "", -1, -1,
+                           kFrameMagic, magic);
+  }
+  const std::uint8_t version = r.u8();
+  if (version != kFrameVersion) {
+    throw corruption_error("frame header has unknown version", "", -1, -1,
+                           kFrameVersion, version);
+  }
+  h.type = r.u8();
+  (void)r.u16();  // reserved
+  h.phase = r.i32();
+  h.round = r.i32();
+  h.payload_len = r.u32();
+  if (h.payload_len > kFrameMaxPayload) {
+    throw corruption_error("frame length field exceeds the sanity cap", "", -1,
+                           -1, kFrameMaxPayload, h.payload_len);
+  }
+  return h;
+}
+
+/// Validate a complete frame buffer (header + payload + trailer) and return
+/// a view of its payload. Throws corruption_error on truncation, a bad
+/// header, or a checksum mismatch.
+inline std::span<const std::uint8_t> frame_payload(
+    std::span<const std::uint8_t> frame) {
+  const FrameHeader h = decode_frame_header(frame);
+  const std::size_t want =
+      kFrameHeaderBytes + h.payload_len + kFrameTrailerBytes;
+  if (frame.size() < want) {
+    throw corruption_error("frame truncated before its declared end", "", -1,
+                           -1, want, frame.size());
+  }
+  const std::size_t body = kFrameHeaderBytes + h.payload_len;
+  ByteReader trailer{frame.subspan(body, kFrameTrailerBytes), 0, "frame trailer"};
+  const std::uint64_t stored = trailer.u64();
+  const std::uint64_t computed = checksum64(kFrameMagic, frame.first(body));
+  if (stored != computed) {
+    throw corruption_error("frame checksum mismatch", "", -1, -1, computed,
+                           stored);
+  }
+  return frame.subspan(kFrameHeaderBytes, h.payload_len);
+}
+
+}  // namespace dvc::wire

@@ -145,6 +145,30 @@ LegalColoringResult legal_coloring(sim::Runtime& rt, int arboricity_bound, int p
         }
         ctx.halt();
       }
+      bool dist_capable() const override { return true; }
+      void save_vertex_state(V v, wire::ByteWriter& w) const override {
+        const int deg = g_->degree(v);
+        for (int p = 0; p < deg; ++p) {
+          w.u8(static_cast<std::uint8_t>(sigma_->dir(v, p)));
+        }
+      }
+      void load_vertex_state(V v, wire::ByteReader& r) override {
+        const int deg = g_->degree(v);
+        for (int p = 0; p < deg; ++p) {
+          // Unoriented slots stay as constructed; only decided directions
+          // replay through the single-slot orient calls.
+          switch (static_cast<EdgeDir>(r.u8())) {
+            case EdgeDir::Out:
+              sigma_->orient_out_local(v, p);
+              break;
+            case EdgeDir::In:
+              sigma_->orient_in_local(v, p);
+              break;
+            case EdgeDir::Unoriented:
+              break;
+          }
+        }
+      }
      private:
       const Graph* g_;
       Orientation* sigma_;

@@ -26,6 +26,18 @@ class ColorSweepProgram : public sim::VertexProgram {
 
   std::vector<std::uint8_t> take() { return std::move(in_mis_); }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    const auto s = static_cast<std::size_t>(v);
+    w.u8(in_mis_[s]);
+    w.u8(blocked_[s]);
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    const auto s = static_cast<std::size_t>(v);
+    in_mis_[s] = r.u8();
+    blocked_[s] = r.u8();
+  }
+
  private:
   void maybe_decide(sim::Ctx& ctx, int round) {
     const V v = ctx.vertex();

@@ -54,6 +54,24 @@ class SimpleArbProgram : public sim::VertexProgram {
 
   Coloring take_colors() { return std::move(colors_); }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    const auto s = static_cast<std::size_t>(v);
+    w.i64(colors_[s]);
+    w.i32(pending_[s]);
+    const auto& hist = histogram_[s];
+    w.u32(static_cast<std::uint32_t>(hist.size()));
+    for (const int h : hist) w.i32(h);
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    const auto s = static_cast<std::size_t>(v);
+    colors_[s] = r.i64();
+    pending_[s] = r.i32();
+    auto& hist = histogram_[s];
+    hist.resize(r.u32());
+    for (int& h : hist) h = r.i32();
+  }
+
  private:
   std::int64_t group_of(V v) const {
     return groups_ ? (*groups_)[static_cast<std::size_t>(v)] : 0;

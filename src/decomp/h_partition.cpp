@@ -39,6 +39,14 @@ class HPartitionProgram : public sim::VertexProgram {
 
   const std::vector<int>& levels() const { return level_; }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    w.i32(level_[static_cast<std::size_t>(v)]);
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    level_[static_cast<std::size_t>(v)] = r.i32();
+  }
+
  private:
   std::int64_t group_of(V v) const {
     return groups_ ? (*groups_)[static_cast<std::size_t>(v)] : 0;

@@ -51,6 +51,32 @@ class OrientExchangeProgram : public sim::VertexProgram {
     ctx.halt();
   }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      w.u8(static_cast<std::uint8_t>(sigma_->dir(v, p)));
+    }
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      // Unoriented is the fresh state every slot starts in; writing it
+      // through orient_*_local's single-slot discipline is impossible, so
+      // skip -- only decided directions need replaying.
+      switch (static_cast<EdgeDir>(r.u8())) {
+        case EdgeDir::Out:
+          sigma_->orient_out_local(v, p);
+          break;
+        case EdgeDir::In:
+          sigma_->orient_in_local(v, p);
+          break;
+        case EdgeDir::Unoriented:
+          break;
+      }
+    }
+  }
+
  private:
   std::int64_t group_of(V v) const {
     return groups_ ? (*groups_)[static_cast<std::size_t>(v)] : 0;

@@ -81,6 +81,14 @@ class RecolorProgram : public sim::VertexProgram {
 
   Coloring take_colors() { return std::move(colors_); }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    w.i64(colors_[static_cast<std::size_t>(v)]);
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    colors_[static_cast<std::size_t>(v)] = r.i64();
+  }
+
  private:
   std::int64_t group_of(V v) const {
     return groups_ ? (*groups_)[static_cast<std::size_t>(v)] : 0;

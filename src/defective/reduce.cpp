@@ -66,6 +66,24 @@ class GreedyByOrientationProgram : public sim::VertexProgram {
 
   Coloring take_colors() { return std::move(colors_); }
 
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    const auto s = static_cast<std::size_t>(v);
+    w.i64(colors_[s]);
+    w.i32(pending_[s]);
+    const auto& parents = parent_colors_[s];
+    w.u32(static_cast<std::uint32_t>(parents.size()));
+    for (const std::int64_t c : parents) w.i64(c);
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    const auto s = static_cast<std::size_t>(v);
+    colors_[s] = r.i64();
+    pending_[s] = r.i32();
+    auto& parents = parent_colors_[s];
+    parents.resize(r.u32());
+    for (std::int64_t& c : parents) c = r.i64();
+  }
+
  private:
   void choose_and_finish(sim::Ctx& ctx, V v, std::int64_t mine) {
     auto& taken = parent_colors_[static_cast<std::size_t>(v)];
@@ -156,6 +174,22 @@ class NaiveReduceProgram : public sim::VertexProgram {
   }
 
   Coloring take_colors() { return std::move(colors_); }
+
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    w.i64(colors_[static_cast<std::size_t>(v)]);
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      w.i64(port_colors_[static_cast<std::size_t>(g_->slot(v, p))]);
+    }
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    colors_[static_cast<std::size_t>(v)] = r.i64();
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      port_colors_[static_cast<std::size_t>(g_->slot(v, p))] = r.i64();
+    }
+  }
 
  private:
   const Graph* g_;
@@ -260,6 +294,22 @@ class KwReduceProgram : public sim::VertexProgram {
   }
 
   Coloring take_colors() { return std::move(colors_); }
+
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V v, wire::ByteWriter& w) const override {
+    w.i64(colors_[static_cast<std::size_t>(v)]);
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      w.i64(port_colors_[static_cast<std::size_t>(g_->slot(v, p))]);
+    }
+  }
+  void load_vertex_state(V v, wire::ByteReader& r) override {
+    colors_[static_cast<std::size_t>(v)] = r.i64();
+    const int deg = g_->degree(v);
+    for (int p = 0; p < deg; ++p) {
+      port_colors_[static_cast<std::size_t>(g_->slot(v, p))] = r.i64();
+    }
+  }
 
  private:
   void renumber(V v) {

@@ -1,0 +1,82 @@
+#include "dist/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/wire.hpp"
+
+namespace dvc::dist {
+
+SocketTransport::SocketTransport(int fd, int worker)
+    : fd_(fd), worker_(worker) {
+  DVC_REQUIRE(fd >= 0, "SocketTransport needs a valid fd");
+}
+
+SocketTransport::~SocketTransport() { shutdown(); }
+
+void SocketTransport::shutdown() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SocketTransport::lost(const std::string& why) {
+  shutdown();
+  const std::string who =
+      worker_ >= 0 ? "worker " + std::to_string(worker_) : "the coordinator";
+  throw worker_lost_error("transport to " + who + " lost: " + why, worker_,
+                          /*phase=*/-1, /*round=*/-1);
+}
+
+void SocketTransport::send(std::span<const std::uint8_t> frame) {
+  if (fd_ < 0) lost("channel already closed");
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    // MSG_NOSIGNAL: a peer that died mid-phase must surface as
+    // worker_lost_error here, not as a process-wide SIGPIPE.
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      lost(std::string("send failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void SocketTransport::read_exact(std::uint8_t* dst, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = ::read(fd_, dst + off, n - off);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      lost(std::string("read failed: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      // EOF mid-frame and EOF at a frame boundary mean the same thing at
+      // this layer: the peer process is gone.
+      lost("peer closed the channel (process exit or kill)");
+    }
+    off += static_cast<std::size_t>(r);
+  }
+}
+
+std::vector<std::uint8_t> SocketTransport::recv() {
+  if (fd_ < 0) lost("channel already closed");
+  std::vector<std::uint8_t> frame(wire::kFrameHeaderBytes);
+  read_exact(frame.data(), wire::kFrameHeaderBytes);
+  // A garbled header (bad magic/version/length) is corruption, not death:
+  // decode_frame_header throws corruption_error, which the phase reports
+  // upward as damaged data rather than a lost worker.
+  const wire::FrameHeader h = wire::decode_frame_header(frame);
+  const std::size_t rest = h.payload_len + wire::kFrameTrailerBytes;
+  frame.resize(wire::kFrameHeaderBytes + rest);
+  read_exact(frame.data() + wire::kFrameHeaderBytes, rest);
+  return frame;
+}
+
+}  // namespace dvc::dist

@@ -38,17 +38,8 @@ using EdgeList = std::vector<std::pair<V, V>>;
 
 namespace detail {
 
-/// splitmix64-based combiner for Graph::digest(): finalizes `x` through the
-/// splitmix64 permutation, then folds it into the running hash `h` with a
-/// position-dependent combine so equal multisets of values at different
-/// stream positions do not collide trivially.
-constexpr std::uint64_t digest_mix(std::uint64_t h, std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return (h ^ x) * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL;
-}
+// digest_mix -- the splitmix64-based combiner Graph::digest() is built on --
+// lives in common/check.hpp so the serialization layer shares it.
 
 /// Digest of the empty graph: the seed chain over n = 0, m = 0 with no
 /// adjacency stream. Default-constructed Graphs carry this value so they

@@ -31,6 +31,13 @@ std::uint64_t mix_double(std::uint64_t h, double v) {
   return detail::digest_mix(h, std::bit_cast<std::uint64_t>(v));
 }
 
+void validate_dist_spec(const JobSpec::DistSpec& dist) {
+  DVC_REQUIRE(dist.workers >= 0,
+              "JobSpec::dist.workers must be >= 0 (0 = in-process)");
+  DVC_REQUIRE(dist.kill_attempt >= 0,
+              "JobSpec::dist.kill_attempt must be >= 0");
+}
+
 double percentile_sorted_ms(const std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
   // Nearest-rank, matching bench_stats.hpp: ceil(q * n) clamped to [1, n].
@@ -84,10 +91,11 @@ std::uint64_t knob_fingerprint(const Knobs& knobs, int effective_shards) {
 // ---------------------------------------------------------------------------
 // SessionPool
 
-SessionPool::Entry SessionPool::acquire(const GraphRef& graph, int shards) {
+SessionPool::Entry SessionPool::acquire(const GraphRef& graph, int shards,
+                                        bool inline_shards) {
   DVC_REQUIRE(graph, "cannot acquire a session for a null graph");
   DVC_REQUIRE(shards >= 1, "session shard count must be >= 1");
-  const Key key{graph.digest, shards};
+  const Key key{graph.digest, shards, inline_shards};
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++acquires_;
@@ -107,14 +115,15 @@ SessionPool::Entry SessionPool::acquire(const GraphRef& graph, int shards) {
   Entry entry;
   entry.graph = graph;
   entry.shards = shards;
-  entry.rt = std::make_unique<sim::Runtime>(*graph.graph, shards);
+  entry.inline_shards = inline_shards;
+  entry.rt = std::make_unique<sim::Runtime>(*graph.graph, shards, inline_shards);
   entry.warm = false;
   return entry;
 }
 
 void SessionPool::release(Entry entry) {
   if (!entry.rt) return;
-  const Key key{entry.graph.digest, entry.shards};
+  const Key key{entry.graph.digest, entry.shards, entry.inline_shards};
   Entry reject;  // destroyed outside the lock (joins the session's threads)
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -299,6 +308,7 @@ JobTicket ColoringService::submit(JobSpec spec) {
   DVC_REQUIRE(spec.knobs.fault_plan == nullptr,
               "Knobs::fault_plan is a borrowed pointer for direct calls; "
               "service jobs carry the plan by value in JobSpec::fault_plan");
+  validate_dist_spec(spec.dist);
   Job job;
   JobTicket ticket;
   const char* rejection = nullptr;
@@ -363,6 +373,7 @@ std::optional<JobTicket> ColoringService::try_submit(JobSpec spec) {
   DVC_REQUIRE(spec.knobs.fault_plan == nullptr,
               "Knobs::fault_plan is a borrowed pointer for direct calls; "
               "service jobs carry the plan by value in JobSpec::fault_plan");
+  validate_dist_spec(spec.dist);
   // The id/submitted_ reservation and the non-blocking enqueue happen under
   // one state-lock hold: reserving first and rolling back on a full queue
   // would let a concurrent drain() capture a submitted_ target that no job
@@ -408,6 +419,7 @@ std::vector<JobTicket> ColoringService::submit_batch(std::vector<JobSpec> specs)
                   "Knobs::fault_plan is a borrowed pointer for direct calls; "
                   "service jobs carry the plan by value in "
                   "JobSpec::fault_plan");
+      validate_dist_spec(spec.dist);
       const char* rejection =
           config_.shed_on_saturation
               ? admission_reject_locked(spec, jobs.size())
@@ -700,11 +712,19 @@ std::optional<JobResult> ColoringService::execute(Job job) {
   // (and possibly fault), and a run that faulted-and-recovered is verified
   // bit-identical but stays out of the fault-free cache population.
   const bool plan_armed = spec.fault_plan.armed();
+  // Multi-process execution (see dist/dist.hpp): the job's session is an
+  // inline-shards one (pooled under its own key) carrying a DistSession, so
+  // every dist-capable phase runs across spec.dist.workers OS processes.
+  // Distribution is proven output-invariant, so dist and in-process jobs
+  // share cache entries -- but an ARMED worker kill is chaos, and bypasses
+  // the cache exactly like an armed fault plan.
+  const bool dist_job = spec.dist.workers > 0;
+  const bool kill_armed = dist_job && spec.dist.kill_at_sweep >= 0;
   const ResultCache::Key cache_key{spec.graph.digest,
                                    static_cast<int>(spec.preset),
                                    spec.arboricity_bound,
                                    knob_fingerprint(spec.knobs, shards)};
-  if (!plan_armed) {
+  if (!plan_armed && !kill_armed) {
     if (auto cached = cache_.lookup(cache_key)) {
       res.result = *cached;
       res.status = JobStatus::kOk;
@@ -736,11 +756,13 @@ std::optional<JobResult> ColoringService::execute(Job job) {
     // checkpoint resume.
     SessionPool::Entry entry;
     if (job.attempt == 0) {
-      entry = pool_.acquire(spec.graph, shards);
+      entry = pool_.acquire(spec.graph, shards, dist_job);
     } else {
       entry.graph = spec.graph;
       entry.shards = shards;
-      entry.rt = std::make_unique<sim::Runtime>(*spec.graph.graph, shards);
+      entry.inline_shards = dist_job;
+      entry.rt = std::make_unique<sim::Runtime>(*spec.graph.graph, shards,
+                                                /*inline_shards=*/dist_job);
       entry.warm = false;
     }
     res.warm_session = entry.warm;
@@ -785,8 +807,29 @@ std::optional<JobResult> ColoringService::execute(Job job) {
       plan.salt = job.attempt;
       const sim::ScopedFaultPlan fault_guard(*entry.rt,
                                              plan_armed ? &plan : nullptr);
+      // Distributed execution: install the transport for the span of this
+      // run. The scheduled worker kill arms only on its designated attempt,
+      // so the retry of a killed job runs clean and recovery is observable.
+      std::optional<dist::DistSession> dist_session;
+      if (dist_job) {
+        dist::DistConfig dcfg;
+        dcfg.workers = spec.dist.workers;
+        dcfg.backend = spec.dist.backend;
+        if (kill_armed && job.attempt == spec.dist.kill_attempt) {
+          dcfg.kill_at_sweep = spec.dist.kill_at_sweep;
+          dcfg.kill_worker = spec.dist.kill_worker;
+        }
+        dist_session.emplace(*entry.rt, dcfg);
+      }
       res.result = color_graph(*entry.rt, spec.arboricity_bound, spec.preset,
                                spec.knobs);
+      if (dist_session) {
+        const dist::PhaseWireMetrics totals = dist_session->totals();
+        res.dist_workers = dist_session->effective_workers();
+        res.wire_bytes = totals.wire_bytes;
+        res.wire_frames = totals.frames;
+        dist_session.reset();  // uninstall before the session leaves scope
+      }
       res.status = JobStatus::kOk;
       res.ok = true;
       res.recovered = job.attempt > 0;
@@ -833,7 +876,7 @@ std::optional<JobResult> ColoringService::execute(Job job) {
     }
     fault_delta = entry.rt->faults_injected() - faults_before;
     pool_.release(std::move(entry));
-    if (!plan_armed) {
+    if (!plan_armed && !kill_armed) {
       cache_.insert(cache_key, std::make_shared<const LegalColoringResult>(
                                    res.result));
     }

@@ -81,6 +81,7 @@
 #include <vector>
 
 #include "core/api.hpp"
+#include "dist/dist.hpp"
 #include "service/graph_store.hpp"
 #include "service/job_queue.hpp"
 #include "sim/runtime.hpp"
@@ -210,6 +211,27 @@ struct JobSpec {
   /// An armed plan bypasses the result cache in both directions (a faulted
   /// run is not the cache's bit-identity contract).
   sim::FaultPlan fault_plan;
+
+  /// Multi-process execution of this job's phases (see dist/dist.hpp).
+  /// workers == 0 (the default) runs in-process on the pooled threaded
+  /// session. workers > 0 runs each attempt on an inline-shards session
+  /// (pooled under its own key) with a DistSession installed: every
+  /// dist-capable phase executes across that many worker processes, with
+  /// results bit-identical to the in-process run. A worker death surfaces
+  /// as dist::worker_lost_error -- a transient_error -- so the service's
+  /// retry + checkpoint-resume policy heals it like any injected fault.
+  struct DistSpec {
+    int workers = 0;
+    dist::Backend backend = dist::Backend::kFork;
+    /// Chaos knob: kill `kill_worker` at cumulative distributed sweep
+    /// #kill_at_sweep (-1 = never), armed only on attempt `kill_attempt` --
+    /// so the retry of a killed job runs clean and the self-healing path
+    /// can be asserted end to end. An armed kill bypasses the result cache.
+    int kill_at_sweep = -1;
+    int kill_worker = 0;
+    int kill_attempt = 0;
+  };
+  DistSpec dist;
 };
 
 /// Futures-free job handle. Tickets are claimed exactly once: wait()/poll()
@@ -249,6 +271,13 @@ struct JobResult {
   /// Label of the pipeline phase that was running (or about to run) when a
   /// failed job threw; empty for kOk and for jobs that never ran.
   std::string failed_phase;
+  /// Multi-process jobs (JobSpec::dist.workers > 0): worker-process count
+  /// the run used and its measured wire traffic summed over distributed
+  /// phases (every frame byte the coordinator sent or received). Zero for
+  /// in-process jobs and runs that never completed.
+  int dist_workers = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t wire_frames = 0;
   /// Wall-clock: time spent queued and time spent executing. Reporting
   /// only -- never part of the determinism surface.
   double queue_ms = 0.0;
@@ -263,6 +292,10 @@ class SessionPool {
   struct Entry {
     GraphRef graph;  // keeps the interned graph alive for rt's lifetime
     int shards = 1;
+    /// Session built without a shard thread pool (required by the fork
+    /// transport). Part of the pool key: a distributed job must never be
+    /// handed a threaded session or vice versa.
+    bool inline_shards = false;
     std::unique_ptr<sim::Runtime> rt;
     bool warm = false;  // true iff this acquire was served from the cache
   };
@@ -270,7 +303,7 @@ class SessionPool {
   SessionPool(int max_idle_per_key, int max_idle_total)
       : max_idle_per_key_(max_idle_per_key), max_idle_total_(max_idle_total) {}
 
-  Entry acquire(const GraphRef& graph, int shards);
+  Entry acquire(const GraphRef& graph, int shards, bool inline_shards = false);
   void release(Entry entry);
   /// Destroys all idle sessions (in-flight entries are unaffected).
   void clear();
@@ -289,12 +322,14 @@ class SessionPool {
   struct Key {
     std::uint64_t digest;
     int shards;
+    bool inline_shards;
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const {
-      return static_cast<std::size_t>(
-          detail::digest_mix(k.digest, static_cast<std::uint64_t>(k.shards)));
+      return static_cast<std::size_t>(detail::digest_mix(
+          detail::digest_mix(k.digest, static_cast<std::uint64_t>(k.shards)),
+          static_cast<std::uint64_t>(k.inline_shards)));
     }
   };
 

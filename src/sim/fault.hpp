@@ -88,25 +88,10 @@ class fault_error : public transient_error {
 /// recorded -- i.e. a drop or corruption (injected or environmental)
 /// happened in the mailbox between send and delivery. Also raised by
 /// Runtime::resume on a checkpoint buffer whose trailing checksum does not
-/// match its bytes.
-class corruption_error : public transient_error {
- public:
-  corruption_error(const std::string& what, std::string phase_label, int phase,
-                   int round, std::uint64_t expected_messages,
-                   std::uint64_t observed_messages)
-      : transient_error(what),
-        phase_label(std::move(phase_label)),
-        phase(phase),
-        round(round),
-        expected_messages(expected_messages),
-        observed_messages(observed_messages) {}
-
-  std::string phase_label;
-  int phase;  ///< 0-based phase index (-1 for checkpoint-buffer corruption)
-  int round;  ///< delivery round the mismatch was detected at
-  std::uint64_t expected_messages;
-  std::uint64_t observed_messages;
-};
+/// match its bytes, and by the wire layer on a damaged frame. The class
+/// itself lives in common/check.hpp (the serialization layer throws it);
+/// re-exported here so sim-side callers keep their historical spelling.
+using dvc::corruption_error;
 
 /// Raised by the runtime watchdog (Runtime::set_watchdog_idle_rounds): the
 /// configured number of consecutive rounds passed in which no vertex halted

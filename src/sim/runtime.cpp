@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/math.hpp"
+#include "common/wire.hpp"
 
 namespace dvc::sim {
 namespace {
@@ -57,69 +58,22 @@ std::uint64_t lane_slot_hash(std::int64_t slot,
 
 // Checkpoint buffer format (see Runtime::checkpoint): little-endian fields,
 // magic + version header, graph fingerprint, boundary state, the serialized
-// PhaseLog, and a trailing fold-of-all-bytes checksum.
+// PhaseLog, and a trailing fold-of-all-bytes checksum. The byte-level
+// encode/decode/checksum idioms live in common/wire.hpp, shared with the
+// distributed transport's frame protocol.
 constexpr std::uint64_t kCkptMagic = 0x647663434b505431ULL;  // "dvcCKPT1"
 constexpr std::uint32_t kCkptVersion = 1;
 
 std::uint64_t ckpt_checksum(std::span<const std::uint8_t> bytes) {
-  std::uint64_t h = kCkptMagic;
-  for (const std::uint8_t b : bytes) h = dvc::detail::digest_mix(h, b);
-  return h;
+  return dvc::wire::checksum64(kCkptMagic, bytes);
 }
 
-struct ByteWriter {
-  std::vector<std::uint8_t> buf;
-  void u8(std::uint8_t v) { buf.push_back(v); }
-  void u32(std::uint32_t v) {
-    for (int i = 0; i < 4; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void u64(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-  void i32(std::int32_t v) { u32(std::bit_cast<std::uint32_t>(v)); }
-  void i64(std::int64_t v) { u64(std::bit_cast<std::uint64_t>(v)); }
-  void str(std::string_view s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    buf.insert(buf.end(), s.begin(), s.end());
-  }
-};
+using ByteWriter = dvc::wire::ByteWriter;
+using ByteReader = dvc::wire::ByteReader;
 
-struct ByteReader {
-  std::span<const std::uint8_t> buf;
-  std::size_t pos = 0;
-  void need(std::size_t n) {
-    if (pos + n > buf.size()) {
-      throw dvc::sim::corruption_error(
-          "checkpoint buffer truncated: ran past its end while decoding",
-          /*phase_label=*/"", /*phase=*/-1, /*round=*/-1, 0, 0);
-    }
-  }
-  std::uint8_t u8() {
-    need(1);
-    return buf[pos++];
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[pos++]) << (8 * i);
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[pos++]) << (8 * i);
-    return v;
-  }
-  std::int32_t i32() { return std::bit_cast<std::int32_t>(u32()); }
-  std::int64_t i64() { return std::bit_cast<std::int64_t>(u64()); }
-  std::string str() {
-    const std::uint32_t len = u32();
-    need(len);
-    std::string s(reinterpret_cast<const char*>(buf.data() + pos), len);
-    pos += len;
-    return s;
-  }
-};
+ByteReader ckpt_reader(std::span<const std::uint8_t> buf) {
+  return ByteReader{buf, 0, "checkpoint buffer"};
+}
 
 // Depth counter (not a bool) so machinery scopes nest: the round loop is
 // machinery, program callbacks are not, but Ctx::send called from a callback
@@ -465,7 +419,7 @@ std::vector<std::int64_t>& Ctx::scratch(int which) {
       .scratch[static_cast<std::size_t>(which)];
 }
 
-Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
+Runtime::Runtime(const Graph& g, int shards, bool inline_shards) : g_(&g) {
   const V n = g.num_vertices();
   std::int64_t s = shards > 0 ? shards : default_shards();
   if (s < 1) s = 1;
@@ -518,6 +472,7 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
   DVC_REQUIRE(g.num_slots() < (std::int64_t{1} << kTouchSenderShift),
               "graph slot space exceeds the grouped-delivery packing");
   halted_.assign(static_cast<std::size_t>(n), 0);
+  dist_captured_.resize(static_cast<std::size_t>(num_shards_));
   recv_meta_ = std::make_unique_for_overwrite<RecvMeta[]>(
       static_cast<std::size_t>(n));
   for (Shard& sh : shards_) {
@@ -546,9 +501,13 @@ Runtime::Runtime(const Graph& g, int shards) : g_(&g) {
 
   // Parked worker pool: one thread per extra shard for the lifetime of the
   // session. Phase boundaries wake it via condition variable; nothing is
-  // ever re-spawned.
-  threads_.reserve(static_cast<std::size_t>(num_shards_ - 1));
-  for (int shard = 1; shard < num_shards_; ++shard) {
+  // ever re-spawned. inline_shards keeps the pool empty: dispatch() then
+  // sweeps every shard sequentially on the calling thread, which is
+  // bit-identical (the shard-determinism contract) and leaves the process
+  // single-threaded -- the property the fork-based transport needs.
+  threads_.reserve(
+      inline_shards ? 0 : static_cast<std::size_t>(num_shards_ - 1));
+  for (int shard = 1; !inline_shards && shard < num_shards_; ++shard) {
     g_threads_spawned.fetch_add(1, std::memory_order_relaxed);
     threads_.emplace_back([this, shard] {
       MachineryScope machinery;
@@ -626,6 +585,14 @@ void Runtime::do_send(int shard, V from, int port,
   out.off[s] = static_cast<std::uint32_t>(words.size());
   out.len[s] = static_cast<std::uint32_t>(payload.size());
   words.insert(words.end(), payload.begin(), payload.end());
+  if (dist_capture_) {
+    // Distributed sweep: remember every slot written outside this worker's
+    // own range -- those messages must cross the wire to their owner.
+    const auto si = static_cast<std::int64_t>(s);
+    if (si < dist_slot_lo_ || si >= dist_slot_hi_) {
+      dist_captured_[static_cast<std::size_t>(shard)].push_back(si);
+    }
+  }
   if (fault_armed_ && fault_plan_.checksum) {
     // Checksum lane: fold what was ACTUALLY sent, before any injector can
     // touch the arena. XOR-combined across slots and shards, so the totals
@@ -930,7 +897,18 @@ void Runtime::dispatch(Job job) {
     }
   };
   if (threads_.empty()) {
+    // Single-sharded, or a multi-shard inline session (inline_shards):
+    // sweep every shard sequentially on this thread. Shard sweeps are
+    // independent by the race-freedom contract, so serial ascending order
+    // is bit-identical to the pool's concurrent execution.
     run_mine();
+    for (int shard = 1; shard < num_shards_; ++shard) {
+      if (job == Job::kInit) {
+        init_shard(shard);
+      } else {
+        run_shard_phase(shard, *program_, job == Job::kBegin);
+      }
+    }
     return;
   }
   {
@@ -1045,17 +1023,46 @@ const RunStats& Runtime::run_phase_body(VertexProgram& program, int max_rounds,
         std::min<std::int64_t>(msg_word_cap_, phase_contract_words_);
   }
 
+  // Offer the phase to the installed transport executor, AFTER the
+  // per-phase reset above (a forked worker inherits exactly this canonical
+  // phase-start state) and BEFORE the delivery-mode decisions below (a
+  // distributed phase disables the touched index: remote workers cannot
+  // contribute to it, so grouped delivery would silently miss their
+  // messages). Fault-armed phases are never offered -- the injection hooks
+  // run inside shard sweeps, which a remote worker executes out of the
+  // coordinator's sight.
+  PhaseExecutor* exec = phase_executor_;
+  const bool dist = exec != nullptr && !fault_armed_ &&
+                    exec->begin_phase(*this, program);
+  // Unwind guard: a distributed phase that throws anywhere below must tear
+  // its workers down (end_phase(success=false)) before the exception leaves
+  // run_phase_body, or killed/abandoned worker processes would leak past
+  // the phase boundary.
+  struct ExecGuard {
+    Runtime* rt;
+    PhaseExecutor* exec;
+    VertexProgram* program;
+    void disarm() { exec = nullptr; }
+    ~ExecGuard() {
+      if (exec != nullptr) exec->end_phase(*rt, *program, /*success=*/false);
+    }
+  } exec_guard{this, dist ? exec : nullptr, &program};
+
   // Begin() has no message history to predict from; record (capped), so a
   // halt-heavy begin can hand round 1 a grouped delivery. touch_idx_ok_
   // gates the whole index: a slot space past 32 bits delivers by port scan.
   // An armed fault plan forces epoch-scan delivery for the whole phase:
   // injected drops rewind a slot's epoch stamp, which the grouped
   // (index-driven) path would not re-read.
-  record_touched_ = phase_sparse_ && touch_idx_ok_ && !fault_armed_;
+  record_touched_ = !dist && phase_sparse_ && touch_idx_ok_ && !fault_armed_;
   arenas_[1].indexed = record_touched_;
   std::uint64_t words_before = stats_.words;
   std::uint64_t msgs_before = stats_.messages;
-  dispatch(Job::kBegin);
+  if (dist) {
+    exec->run_sweep(*this, /*is_begin=*/true);
+  } else {
+    dispatch(Job::kBegin);
+  }
   merge_shards();
   stats_.words_per_round.push_back(stats_.words - words_before);
   if (fault_armed_) snapshot_send_lane_and_inject(round_ + 1);
@@ -1083,7 +1090,7 @@ const RunStats& Runtime::run_phase_body(VertexProgram& program, int max_rounds,
       std::uint64_t total_ports = 0;
       for (const Shard& sh : shards_) total_ports += sh.live_ports;
       const std::uint64_t last_msgs = stats_.messages - msgs_before;
-      record_touched_ = touch_idx_ok_ && !fault_armed_ &&
+      record_touched_ = !dist && touch_idx_ok_ && !fault_armed_ &&
                         last_msgs * kTouchRecordFactor <= total_ports;
     }
     out.indexed = record_touched_;
@@ -1093,7 +1100,11 @@ const RunStats& Runtime::run_phase_body(VertexProgram& program, int max_rounds,
     words_before = stats_.words;
     msgs_before = stats_.messages;
     const V live_before = live_;
-    dispatch(Job::kStep);
+    if (dist) {
+      exec->run_sweep(*this, /*is_begin=*/false);
+    } else {
+      dispatch(Job::kStep);
+    }
     merge_shards();
     stats_.words_per_round.push_back(stats_.words - words_before);
     if (fault_armed_) snapshot_send_lane_and_inject(round_ + 1);
@@ -1122,6 +1133,14 @@ const RunStats& Runtime::run_phase_body(VertexProgram& program, int max_rounds,
   }
   program_ = nullptr;
   stats_.rounds = round_;
+  if (dist) {
+    // Successful completion: the executor ships per-vertex program state
+    // back from the workers and releases them. May throw (a worker died
+    // delivering its final state); the guard then issues the idempotent
+    // failure teardown.
+    exec->end_phase(*this, program, /*success=*/true);
+    exec_guard.disarm();
+  }
   log_.record(label, stats_);
   return stats_;
 }
@@ -1336,7 +1355,7 @@ void Runtime::resume(std::span<const std::uint8_t> buffer) {
         "corrupted between checkpoint() and resume()",
         /*phase_label=*/"", /*phase=*/-1, /*round=*/-1, 0, 0);
   }
-  ByteReader r{body};
+  ByteReader r = ckpt_reader(body);
   if (r.u64() != kCkptMagic) {
     throw precondition_error("resume: buffer is not a dvc checkpoint");
   }

@@ -87,8 +87,13 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/wire.hpp"
 #include "graph/graph.hpp"
 #include "sim/fault.hpp"
+
+namespace dvc::dist {
+struct RuntimeAccess;  // distributed transport's window into the session
+}
 
 namespace dvc::sim {
 
@@ -453,6 +458,60 @@ class VertexProgram {
   /// send; a wider payload raises bandwidth_error, making the declared
   /// contract mechanically checked on every run.
   virtual int max_words() const { return 0; }
+
+  /// Distribution contract (see src/dist/): a dist-capable program promises
+  /// that begin(v)/step(v) mutate only v-owned state -- per-vertex or
+  /// per-v's-slot entries, including driver-owned arrays reached through
+  /// pointers -- which is exactly the race-freedom contract sharded
+  /// execution already demands. Under that promise a worker process that
+  /// owns v's shard computes v's state correctly in isolation, and
+  /// save/load_vertex_state below ship it back to the coordinator at the
+  /// phase boundary. Programs that do not opt in run their phases locally
+  /// on the coordinator (still bit-identical, just not distributed).
+  virtual bool dist_capable() const { return false; }
+  /// Serializes every per-vertex mutable of `v` (in a fixed order) into `w`.
+  virtual void save_vertex_state(V v, wire::ByteWriter& w) const {
+    (void)v;
+    (void)w;
+  }
+  /// Inverse of save_vertex_state: overwrites v's mutables from `r`. Must
+  /// consume exactly the bytes save_vertex_state wrote.
+  virtual void load_vertex_state(V v, wire::ByteReader& r) {
+    (void)v;
+    (void)r;
+  }
+};
+
+class Runtime;
+
+/// Seam between the round loop and the distributed transport (src/dist/):
+/// run_phase_body offers each phase to the installed executor; an accepting
+/// executor replaces the two shard-pool dispatches (begin sweep, step
+/// sweeps) with its own -- worker processes sweeping their shard partitions
+/// and exchanging arena words over the wire -- while the coordinator's own
+/// merge/stats/PhaseLog machinery runs unchanged. Bit-identity of a
+/// distributed phase is therefore structural: the executor's only output
+/// channel is the same per-shard counters and arena cells an in-process
+/// sweep fills.
+class PhaseExecutor {
+ public:
+  virtual ~PhaseExecutor() = default;
+  /// Offered a phase AFTER the per-phase reset (halted/live/round/arena
+  /// state is at its canonical phase-start value -- everything a forked
+  /// worker must inherit). Return false to decline: the runtime runs the
+  /// phase on its own shards. fault-armed phases are never offered.
+  virtual bool begin_phase(Runtime& rt, VertexProgram& program) = 0;
+  /// Replaces dispatch(kBegin/kStep): on return, shards_[i] counters must
+  /// hold the sweep's per-shard deltas (merge_shards folds and resets them)
+  /// and the out-arena cells owned by this runtime must reflect every
+  /// message addressed to them.
+  virtual void run_sweep(Runtime& rt, bool is_begin) = 0;
+  /// Phase teardown. success=true: all rounds completed -- write program
+  /// state back and release workers (may throw; a throw is followed by a
+  /// success=false call, which must be idempotent). success=false: the
+  /// phase is unwinding -- kill/reap workers, never throw.
+  virtual void end_phase(Runtime& rt, VertexProgram& program,
+                         bool success) = 0;
 };
 
 /// Persistent simulation session bound to one graph. Construction allocates
@@ -464,8 +523,13 @@ class Runtime {
  public:
   /// `shards` <= 0 picks the thread-default (set_default_shards); shard
   /// counts above n are clamped. Any shard count yields bit-identical
-  /// RunStats and program outputs.
-  explicit Runtime(const Graph& g, int shards = 0);
+  /// RunStats and program outputs. `inline_shards` keeps the same shard
+  /// decomposition but spawns NO worker threads: multi-shard sweeps run
+  /// sequentially on the calling thread (bit-identical, per the
+  /// shard-determinism contract). Required for sessions that will host the
+  /// distributed transport -- its fork()-based backend must not fork a
+  /// multithreaded process.
+  explicit Runtime(const Graph& g, int shards = 0, bool inline_shards = false);
   ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
@@ -551,6 +615,22 @@ class Runtime {
     fault_armed_ = fault_plan_.armed();
   }
   const FaultPlan& fault_plan() const { return fault_plan_; }
+
+  /// Installs (or clears, with nullptr) the phase executor offered every
+  /// subsequent run_phase (see PhaseExecutor). Only valid on a session
+  /// built with inline_shards = true: the fork backend must never fork a
+  /// process carrying parked shard threads, and the loopback backend
+  /// matches fork bit-for-bit only when both sweep the shards on one
+  /// thread. The executor is borrowed, not owned; it must outlive its
+  /// installation.
+  void set_phase_executor(PhaseExecutor* exec) {
+    DVC_REQUIRE(exec == nullptr || threads_.empty(),
+                "set_phase_executor requires an inline-shards session "
+                "(Runtime(g, shards, /*inline_shards=*/true)): the fork "
+                "transport cannot fork a session with parked shard threads");
+    phase_executor_ = exec;
+  }
+  PhaseExecutor* phase_executor() const { return phase_executor_; }
   /// Count of faults this session has injected (all kinds, all phases).
   std::uint64_t faults_injected() const {
     return faults_injected_.load(std::memory_order_relaxed);
@@ -643,6 +723,11 @@ class Runtime {
 
  private:
   friend class Ctx;
+  /// The distributed transport's window into the session (src/dist/dist.cpp
+  /// defines it): one named seam instead of a scatter of accessors for
+  /// state only the transport may touch (arenas, shard counters, halted
+  /// bitmap, epoch stamps).
+  friend struct dvc::dist::RuntimeAccess;
 
   /// What a dispatched sweep runs on each shard. kInit is issued once, from
   /// the constructor: every shard default-initializes ITS OWN slice of the
@@ -856,6 +941,17 @@ class Runtime {
   int congest_words_ = 0;
   int phase_contract_words_ = 0;
   std::int64_t msg_word_cap_ = 0;
+  /// Distributed-phase seam state. The executor (borrowed; see
+  /// set_phase_executor) is offered every phase. While a worker process
+  /// sweeps on behalf of the transport, dist_capture_ makes do_send also
+  /// record, per sending shard, every inbox slot OUTSIDE the worker's own
+  /// slot range [dist_slot_lo_, dist_slot_hi_) -- the messages that must
+  /// cross the wire to their owning worker. Slot ids are i64 (the capture
+  /// list, unlike the touched index, must work on any graph size).
+  PhaseExecutor* phase_executor_ = nullptr;
+  bool dist_capture_ = false;
+  std::int64_t dist_slot_lo_ = 0, dist_slot_hi_ = 0;
+  std::vector<std::vector<std::int64_t>> dist_captured_;
 
   // Parked worker pool: spawned once in the constructor, woken per
   // begin/step sweep, joined in the destructor.

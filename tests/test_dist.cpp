@@ -1,0 +1,637 @@
+// Distributed transport suite (src/dist/, common/wire.hpp): the simulator's
+// round loop running across OS processes. The contract under test is the
+// ROADMAP acceptance bar: a preset pipeline run over the loopback or
+// fork/socketpair backend is BIT-IDENTICAL (colors, RunStats, PhaseLog) to
+// the in-process run at every shard and worker count; measured wire traffic
+// is reported next to the declared CONGEST words; and every transport
+// failure edge -- truncated frame, checksum-corrupted frame, a worker
+// SIGKILLed mid-round, coordinator teardown with frames in flight --
+// surfaces as the structured error taxonomy (corruption_error /
+// transient_error / precondition_error), never a hang, with the service's
+// retry + checkpoint path healing a killed worker end to end.
+//
+// This file is the `dist` ctest label and runs in the ASan+UBSan and TSan
+// CI legs (see .github/workflows/ci.yml): the fork backend crosses a real
+// process boundary, so lifetime bugs around teardown are exactly what the
+// sanitizers are for.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/wire.hpp"
+#include "core/api.hpp"
+#include "dist/dist.hpp"
+#include "dist/transport.hpp"
+#include "graph/arboricity.hpp"
+#include "graph/coloring.hpp"
+#include "graph/generators.hpp"
+#include "service/service.hpp"
+#include "sim/runtime.hpp"
+#include "test_helpers.hpp"
+
+namespace dvc {
+namespace {
+
+using dist::Backend;
+using dist::DistConfig;
+using dist::DistSession;
+using dist::PhaseWireMetrics;
+using dist::worker_lost_error;
+using dvc_test::FloodAll;
+using service::ColoringService;
+using service::JobResult;
+using service::JobSpec;
+using service::JobStatus;
+using service::ServiceConfig;
+
+/// FloodAll with the distribution contract opted in: it keeps no per-vertex
+/// mutable state, so the save/load hooks are empty and trivially correct.
+class DistFlood : public FloodAll {
+ public:
+  using FloodAll::FloodAll;
+  bool dist_capable() const override { return true; }
+  void save_vertex_state(V, wire::ByteWriter&) const override {}
+  void load_vertex_state(V, wire::ByteReader&) override {}
+};
+
+void expect_identical(const LegalColoringResult& a,
+                      const LegalColoringResult& b, const std::string& what) {
+  EXPECT_EQ(a.colors, b.colors) << what;
+  EXPECT_EQ(a.distinct, b.distinct) << what;
+  EXPECT_TRUE(a.total == b.total) << what;
+  EXPECT_TRUE(a.phases == b.phases) << what;
+}
+
+/// No unreaped child processes may survive a DistSession: the coordinator
+/// reaps every forked worker at phase end and on every failure path.
+void expect_no_zombie_children() {
+  int status = 0;
+  const pid_t r = ::waitpid(-1, &status, WNOHANG);
+  EXPECT_TRUE(r < 0 && errno == ECHILD)
+      << "a worker process outlived its DistSession (waitpid returned " << r
+      << ")";
+}
+
+LegalColoringResult solo_run(const Graph& g, int bound, Preset preset,
+                             int shards) {
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  sim::Runtime rt(g, shards);
+  return color_graph(rt, bound, preset, knobs);
+}
+
+// ---------------------------------------------------------------------------
+// Wire framing (common/wire.hpp)
+
+TEST(Wire, FrameRoundTripPreservesHeaderAndPayload) {
+  wire::ByteWriter payload;
+  payload.u64(0xdeadbeefcafef00dULL);
+  payload.str("hello frames");
+  payload.i32(-7);
+  const std::vector<std::uint8_t> frame =
+      wire::encode_frame(/*type=*/3, /*phase=*/5, /*round=*/12, payload.buf);
+
+  const wire::FrameHeader h = wire::decode_frame_header(frame);
+  EXPECT_EQ(h.type, 3);
+  EXPECT_EQ(h.phase, 5);
+  EXPECT_EQ(h.round, 12);
+  EXPECT_EQ(h.payload_len, payload.buf.size());
+
+  const auto body = wire::frame_payload(frame);
+  ASSERT_EQ(body.size(), payload.buf.size());
+  wire::ByteReader r{body, 0, "test payload"};
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(r.str(), "hello frames");
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.pos, body.size());
+}
+
+TEST(Wire, TruncatedFrameIsCorruption) {
+  wire::ByteWriter payload;
+  for (int i = 0; i < 64; ++i) payload.u32(static_cast<std::uint32_t>(i));
+  const std::vector<std::uint8_t> frame =
+      wire::encode_frame(1, 0, 0, payload.buf);
+  // Every proper prefix must be rejected structurally: a cut inside the
+  // header, inside the payload, and inside the trailing checksum.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, wire::kFrameHeaderBytes,
+        wire::kFrameHeaderBytes + 11, frame.size() - 1}) {
+    const std::span<const std::uint8_t> cut(frame.data(), keep);
+    EXPECT_THROW((void)wire::frame_payload(cut), corruption_error)
+        << "prefix of " << keep << " bytes was accepted";
+  }
+}
+
+TEST(Wire, FlippedBitAnywhereIsCorruption) {
+  wire::ByteWriter payload;
+  payload.str("checksum covers every byte");
+  const std::vector<std::uint8_t> frame =
+      wire::encode_frame(2, 1, 3, payload.buf);
+  ASSERT_NO_THROW((void)wire::frame_payload(frame));
+  // Flip one bit at a spread of positions: header, payload, trailer.
+  for (const std::size_t pos :
+       {std::size_t{6}, wire::kFrameHeaderBytes, frame.size() / 2,
+        frame.size() - 1}) {
+    std::vector<std::uint8_t> damaged = frame;
+    damaged[pos] ^= 0x10;
+    EXPECT_THROW((void)wire::frame_payload(damaged), corruption_error)
+        << "flip at byte " << pos << " was accepted";
+  }
+}
+
+TEST(Wire, BadMagicVersionAndInsaneLengthAreCorruption) {
+  const std::vector<std::uint8_t> frame = wire::encode_frame(1, -1, -1, {});
+  {
+    std::vector<std::uint8_t> bad = frame;
+    bad[0] ^= 0xff;  // magic
+    EXPECT_THROW((void)wire::decode_frame_header(bad), corruption_error);
+  }
+  {
+    std::vector<std::uint8_t> bad = frame;
+    bad[4] += 1;  // version
+    EXPECT_THROW((void)wire::decode_frame_header(bad), corruption_error);
+  }
+  {
+    // A length field beyond the sanity cap must be rejected as corruption
+    // BEFORE anything tries to allocate it.
+    std::vector<std::uint8_t> bad = frame;
+    const std::uint32_t huge = wire::kFrameMaxPayload + 1;
+    for (int i = 0; i < 4; ++i) {
+      bad[16 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(huge >> (8 * i));
+    }
+    EXPECT_THROW((void)wire::decode_frame_header(bad), corruption_error);
+  }
+}
+
+TEST(Wire, ReaderBoundsChecksEveryRead) {
+  const std::vector<std::uint8_t> buf = {1, 2, 3};
+  wire::ByteReader r{buf, 0, "tiny buffer"};
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW((void)r.u32(), corruption_error);
+  wire::ByteReader r2{buf, 0, "tiny buffer"};
+  EXPECT_THROW((void)r2.str(), corruption_error);  // length prefix missing
+}
+
+TEST(Wire, ChecksumMatchesCheckpointIdiom) {
+  // checksum64 is the shared fold: order-dependent, seed-dependent.
+  const std::vector<std::uint8_t> a = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> b = {4, 3, 2, 1};
+  EXPECT_NE(wire::checksum64(1, a), wire::checksum64(1, b));
+  EXPECT_NE(wire::checksum64(1, a), wire::checksum64(2, a));
+  EXPECT_EQ(wire::checksum64(7, a), wire::checksum64(7, a));
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: distributed == in-process, at every shard/worker count
+
+TEST(DistIdentity, LoopbackMatchesInProcessAcrossPresetsShardsWorkers) {
+  struct Instance {
+    std::string family;
+    Graph g;
+    int bound;
+  };
+  std::vector<Instance> instances;
+  instances.push_back({"planted", planted_arboricity(150, 3, 11), 3});
+  instances.push_back({"gnm", random_gnm(120, 360, 5), 0});
+  for (Instance& inst : instances) {
+    if (inst.bound == 0) {
+      inst.bound = std::max(1, arboricity_bounds(inst.g).second);
+    }
+  }
+  const std::vector<Preset> presets = {
+      Preset::LinearColors,     Preset::NearLinearColors,
+      Preset::PolylogTime,      Preset::FastSubquadratic,
+      Preset::TradeoffAT,       Preset::DeltaPlusOneLowArb};
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+
+  for (const Instance& inst : instances) {
+    for (const Preset preset : presets) {
+      const LegalColoringResult base = solo_run(inst.g, inst.bound, preset, 1);
+      EXPECT_TRUE(is_legal_coloring(inst.g, base.colors));
+      for (const int shards : {1, 2, 8}) {
+        for (const int workers : {2, 3}) {
+          SCOPED_TRACE(inst.family + " preset=" + preset_name(preset) +
+                       " shards=" + std::to_string(shards) +
+                       " workers=" + std::to_string(workers));
+          sim::Runtime rt(inst.g, shards, /*inline_shards=*/true);
+          DistConfig cfg;
+          cfg.workers = workers;
+          cfg.backend = Backend::kLoopback;
+          DistSession session(rt, cfg);
+          const LegalColoringResult got =
+              color_graph(rt, inst.bound, preset, knobs);
+          expect_identical(base, got, "loopback diverged from in-process");
+          // Wire accounting: at least one phase actually crossed the
+          // (simulated) wire, and declared CONGEST totals match the stats.
+          const PhaseWireMetrics totals = session.totals();
+          EXPECT_TRUE(totals.distributed);
+          EXPECT_GT(totals.wire_bytes, 0u);
+          EXPECT_GT(totals.frames, 0u);
+          EXPECT_GT(totals.round_trips, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(DistIdentity, ForkMatchesInProcessAndLoopbackByteForByte) {
+  const Graph g = planted_arboricity(140, 3, 7);
+  const int bound = 3;
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  const LegalColoringResult base =
+      solo_run(g, bound, Preset::PolylogTime, 2);
+
+  for (const int shards : {1, 2, 8}) {
+    for (const int workers : {2, 4}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " workers=" + std::to_string(workers));
+      // Loopback first: the oracle for the wire traffic.
+      std::vector<PhaseWireMetrics> loop_metrics;
+      {
+        sim::Runtime rt(g, shards, /*inline_shards=*/true);
+        DistConfig cfg;
+        cfg.workers = workers;
+        cfg.backend = Backend::kLoopback;
+        DistSession session(rt, cfg);
+        const LegalColoringResult got =
+            color_graph(rt, bound, Preset::PolylogTime, knobs);
+        expect_identical(base, got, "loopback diverged");
+        loop_metrics = session.metrics();
+      }
+      // Fork: real processes over socketpairs, same frames on the wire.
+      {
+        sim::Runtime rt(g, shards, /*inline_shards=*/true);
+        DistConfig cfg;
+        cfg.workers = workers;
+        cfg.backend = Backend::kFork;
+        DistSession session(rt, cfg);
+        const LegalColoringResult got =
+            color_graph(rt, bound, Preset::PolylogTime, knobs);
+        expect_identical(base, got, "fork diverged");
+        const auto& fork_metrics = session.metrics();
+        ASSERT_EQ(fork_metrics.size(), loop_metrics.size());
+        for (std::size_t i = 0; i < fork_metrics.size(); ++i) {
+          EXPECT_EQ(fork_metrics[i].distributed, loop_metrics[i].distributed);
+          EXPECT_EQ(fork_metrics[i].wire_bytes, loop_metrics[i].wire_bytes)
+              << "phase '" << fork_metrics[i].label
+              << "': fork and loopback must encode identical wire traffic";
+          EXPECT_EQ(fork_metrics[i].frames, loop_metrics[i].frames);
+          EXPECT_EQ(fork_metrics[i].round_trips, loop_metrics[i].round_trips);
+        }
+      }
+      expect_no_zombie_children();
+    }
+  }
+}
+
+TEST(DistIdentity, WorkerCountAboveShardsClampsAndStillMatches) {
+  const Graph g = random_gnm(90, 240, 3);
+  const int bound = std::max(1, arboricity_bounds(g).second);
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  const LegalColoringResult base =
+      solo_run(g, bound, Preset::NearLinearColors, 2);
+  sim::Runtime rt(g, /*shards=*/2, /*inline_shards=*/true);
+  DistConfig cfg;
+  cfg.workers = 16;  // only 2 shards exist: clamps to 2 workers
+  cfg.backend = Backend::kFork;
+  DistSession session(rt, cfg);
+  EXPECT_EQ(session.effective_workers(), 2);
+  const LegalColoringResult got =
+      color_graph(rt, bound, Preset::NearLinearColors, knobs);
+  expect_identical(base, got, "clamped worker count diverged");
+  expect_no_zombie_children();
+}
+
+TEST(DistIdentity, DeclaredCongestWordsMatchRunStatsTotals) {
+  const Graph g = planted_arboricity(120, 3, 19);
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  sim::Runtime rt(g, 4, /*inline_shards=*/true);
+  DistConfig cfg;
+  cfg.workers = 2;
+  cfg.backend = Backend::kLoopback;
+  DistSession session(rt, cfg);
+  const LegalColoringResult got =
+      color_graph(rt, 3, Preset::LinearColors, knobs);
+  // Per-phase declared words/messages are the phase's RunStats totals: the
+  // CONGEST cost the paper reasons about, reported NEXT TO measured bytes.
+  std::uint64_t declared_words = 0;
+  std::uint64_t declared_messages = 0;
+  for (const PhaseWireMetrics& m : session.metrics()) {
+    if (!m.distributed) continue;
+    declared_words += m.declared_words;
+    declared_messages += m.declared_messages;
+    EXPECT_GE(m.wire_bytes,
+              m.declared_words * sizeof(std::int64_t))
+        << "phase '" << m.label
+        << "': every declared word crosses the wire as >= 8 bytes";
+  }
+  EXPECT_LE(declared_words, got.total.words);
+  EXPECT_LE(declared_messages, got.total.messages);
+  EXPECT_GT(declared_words, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Failure edges: structured errors, never hangs, never leaks processes
+
+TEST(DistFailure, SigkilledForkWorkerRaisesTransientWorkerLost) {
+  const Graph g = planted_arboricity(140, 3, 7);
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  sim::Runtime rt(g, 4, /*inline_shards=*/true);
+  DistConfig cfg;
+  cfg.workers = 2;
+  cfg.backend = Backend::kFork;
+  cfg.kill_at_sweep = 3;  // SIGKILL worker 1 mid-pipeline, mid-round
+  cfg.kill_worker = 1;
+  DistSession session(rt, cfg);
+  try {
+    (void)color_graph(rt, 3, Preset::PolylogTime, knobs);
+    FAIL() << "killed worker did not surface";
+  } catch (const worker_lost_error& e) {
+    EXPECT_EQ(e.worker, 1);
+    EXPECT_GE(e.phase, 0);
+    EXPECT_NE(std::string(e.what()).find("worker 1"), std::string::npos);
+    // The taxonomy contract: worker death is TRANSIENT (retry-safe), which
+    // is what routes it into the service's self-healing path.
+    const transient_error& as_transient = e;
+    (void)as_transient;
+  }
+  expect_no_zombie_children();
+}
+
+TEST(DistFailure, LoopbackKillRaisesTheSameTaxonomy) {
+  const Graph g = planted_arboricity(140, 3, 7);
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  sim::Runtime rt(g, 4, /*inline_shards=*/true);
+  DistConfig cfg;
+  cfg.workers = 2;
+  cfg.backend = Backend::kLoopback;
+  cfg.kill_at_sweep = 3;
+  cfg.kill_worker = 0;
+  DistSession session(rt, cfg);
+  EXPECT_THROW((void)color_graph(rt, 3, Preset::PolylogTime, knobs),
+               worker_lost_error);
+}
+
+TEST(DistFailure, CorruptedStatsFrameIsDetectedByTheChecksum) {
+  const Graph g = planted_arboricity(140, 3, 7);
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  for (const Backend backend : {Backend::kLoopback, Backend::kFork}) {
+    SCOPED_TRACE(dist::backend_name(backend));
+    sim::Runtime rt(g, 4, /*inline_shards=*/true);
+    DistConfig cfg;
+    cfg.workers = 2;
+    cfg.backend = backend;
+    cfg.corrupt_at_sweep = 2;  // flip a payload byte AFTER frame encoding
+    cfg.corrupt_worker = 1;
+    DistSession session(rt, cfg);
+    EXPECT_THROW((void)color_graph(rt, 3, Preset::PolylogTime, knobs),
+                 corruption_error);
+    expect_no_zombie_children();
+  }
+}
+
+TEST(DistFailure, SessionStaysSoundAfterAWorkerDeath) {
+  // The pool-reuse contract extended to the transport: a session whose
+  // distributed phase lost a worker is scrubbed at the phase boundary and
+  // then serves bit-identical results again.
+  const Graph g = planted_arboricity(140, 3, 7);
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  const LegalColoringResult base =
+      solo_run(g, 3, Preset::NearLinearColors, 4);
+
+  sim::Runtime rt(g, 4, /*inline_shards=*/true);
+  {
+    DistConfig cfg;
+    cfg.workers = 2;
+    cfg.backend = Backend::kFork;
+    cfg.kill_at_sweep = 2;
+    DistSession session(rt, cfg);
+    EXPECT_THROW(
+        (void)color_graph(rt, 3, Preset::NearLinearColors, knobs),
+        worker_lost_error);
+  }
+  expect_no_zombie_children();
+  rt.reset_log();
+  {
+    DistConfig cfg;
+    cfg.workers = 2;
+    cfg.backend = Backend::kFork;
+    DistSession session(rt, cfg);
+    const LegalColoringResult healed =
+        color_graph(rt, 3, Preset::NearLinearColors, knobs);
+    expect_identical(base, healed, "post-death session diverged");
+  }
+  expect_no_zombie_children();
+}
+
+TEST(DistFailure, CoordinatorTeardownWithFramesInFlightNeverHangs) {
+  // Tear the coordinator down while workers are mid-phase (frames queued,
+  // workers parked in recv): the DistSession destructor must kill, reap and
+  // return -- a hang here would time the whole suite out.
+  const Graph g = planted_arboricity(140, 3, 7);
+  Knobs knobs;
+  knobs.congest_words = kCongestWordsPaperPath;
+  auto rt = std::make_unique<sim::Runtime>(g, 4, /*inline_shards=*/true);
+  DistConfig cfg;
+  cfg.workers = 2;
+  cfg.backend = Backend::kFork;
+  cfg.kill_at_sweep = 4;
+  auto session = std::make_unique<DistSession>(*rt, cfg);
+  EXPECT_THROW((void)color_graph(*rt, 3, Preset::PolylogTime, knobs),
+               worker_lost_error);
+  // Unwind order mirrors a crashing coordinator: session first (kills and
+  // reaps the abandoned workers of the failed phase), then the runtime.
+  session.reset();
+  rt.reset();
+  expect_no_zombie_children();
+}
+
+TEST(DistFailure, ThreadedSessionRejectsTheTransportStructurally) {
+  // The fork backend must never fork a process carrying parked shard
+  // threads; set_phase_executor enforces inline shards at install time.
+  const Graph g = cycle_graph(64);
+  sim::Runtime rt(g, 4);  // threaded session
+  DistConfig cfg;
+  cfg.workers = 2;
+  EXPECT_THROW({ DistSession session(rt, cfg); }, std::exception);
+}
+
+TEST(DistFailure, BandwidthErrorInAWorkerCrossesTheWireIntact) {
+  // A CONGEST violation inside a worker process must arrive at the
+  // coordinator as the SAME structured type with its fields -- the error
+  // taxonomy survives serialization.
+  const Graph g = cycle_graph(96);
+  Knobs knobs;
+  sim::Runtime rt(g, 2, /*inline_shards=*/true);
+  rt.set_congest_words(2);  // FloodAll sends 3-word payloads
+  DistConfig cfg;
+  cfg.workers = 2;
+  cfg.backend = Backend::kFork;
+  DistSession session(rt, cfg);
+  DistFlood flood(4);
+  try {
+    rt.run_phase(flood, 16);
+    FAIL() << "bandwidth violation did not surface";
+  } catch (const sim::bandwidth_error& e) {
+    EXPECT_EQ(e.words, 3);
+    EXPECT_EQ(e.cap, 2);
+    EXPECT_NE(std::string(e.what()).find("worker"), std::string::npos);
+  }
+  expect_no_zombie_children();
+}
+
+// ---------------------------------------------------------------------------
+// Service integration: pool scheduling jobs onto worker processes
+
+JobSpec dist_spec(ColoringService& svc, const Graph& g, int workers,
+                  Backend backend) {
+  JobSpec spec;
+  spec.graph = svc.intern(Graph(g));
+  spec.arboricity_bound = 3;
+  spec.preset = Preset::NearLinearColors;
+  spec.knobs.congest_words = kCongestWordsPaperPath;
+  spec.dist.workers = workers;
+  spec.dist.backend = backend;
+  return spec;
+}
+
+TEST(DistService, DistributedJobMatchesInProcessJobAndReportsWireBytes) {
+  const Graph g = planted_arboricity(150, 3, 11);
+  const LegalColoringResult base =
+      solo_run(g, 3, Preset::NearLinearColors, 2);
+
+  ServiceConfig config;
+  config.workers = 2;
+  config.default_shards = 2;
+  // A distributed run is bit-identical to the in-process run, so the result
+  // cache deliberately shares entries across the two flavors; disable it so
+  // the distributed job actually executes and fills its wire metadata.
+  config.result_cache_capacity = 0;
+  ColoringService svc(config);
+  // In-process job for reference...
+  JobSpec plain = dist_spec(svc, g, /*workers=*/0, Backend::kFork);
+  const JobResult plain_res = svc.wait(svc.submit(std::move(plain)));
+  ASSERT_TRUE(plain_res.ok) << plain_res.error;
+  expect_identical(base, plain_res.result, "in-process service job");
+  EXPECT_EQ(plain_res.dist_workers, 0);
+  EXPECT_EQ(plain_res.wire_bytes, 0u);
+  // ...then the same work over 2 worker processes.
+  JobSpec dist = dist_spec(svc, g, /*workers=*/2, Backend::kFork);
+  const JobResult dist_res = svc.wait(svc.submit(std::move(dist)));
+  ASSERT_TRUE(dist_res.ok) << dist_res.error;
+  expect_identical(base, dist_res.result, "distributed service job");
+  EXPECT_EQ(dist_res.dist_workers, 2);
+  EXPECT_GT(dist_res.wire_bytes, 0u);
+  EXPECT_GT(dist_res.wire_frames, 0u);
+}
+
+TEST(DistService, PoolKeysThreadedAndInlineSessionsSeparately) {
+  // A distributed job must never be handed a threaded session or vice
+  // versa: the two flavors pool under distinct keys, so alternating jobs
+  // still warm-hit their own kind.
+  const Graph g = planted_arboricity(150, 3, 11);
+  ServiceConfig config;
+  config.workers = 1;
+  config.default_shards = 2;
+  config.result_cache_capacity = 0;  // force every job through a session
+  ColoringService svc(config);
+  for (int round = 0; round < 2; ++round) {
+    JobSpec plain = dist_spec(svc, g, 0, Backend::kFork);
+    JobSpec dist = dist_spec(svc, g, 2, Backend::kLoopback);
+    const JobResult a = svc.wait(svc.submit(std::move(plain)));
+    const JobResult b = svc.wait(svc.submit(std::move(dist)));
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.result.colors, b.result.colors);
+    if (round == 1) {
+      // Second round: both flavors should have found a warm session of
+      // their own kind in the pool.
+      EXPECT_TRUE(a.warm_session);
+      EXPECT_TRUE(b.warm_session);
+    }
+  }
+}
+
+TEST(DistService, SigkilledWorkerIsHealedByRetryCheckpointBitIdentically) {
+  // The acceptance bar, end to end: a worker process SIGKILLed mid-round
+  // fails the attempt with a transient worker_lost_error; the service
+  // retries on a fresh session, resuming from the checkpoint captured at
+  // the failed run's last completed phase boundary (replay-verified), and
+  // the healed result is BITWISE-equal to the fault-free run.
+  const Graph g = planted_arboricity(150, 3, 11);
+  const LegalColoringResult base =
+      solo_run(g, 3, Preset::NearLinearColors, 2);
+
+  ServiceConfig config;
+  config.workers = 1;
+  config.default_shards = 2;
+  config.retry.max_attempts = 2;
+  config.retry.backoff_base_ms = 0.0;
+  config.retry.resume_from_checkpoint = true;
+  ColoringService svc(config);
+
+  JobSpec spec = dist_spec(svc, g, /*workers=*/2, Backend::kFork);
+  spec.dist.kill_at_sweep = 4;  // mid-pipeline, past the first boundary
+  spec.dist.kill_worker = 1;
+  spec.dist.kill_attempt = 0;  // attempt 0 dies; the retry runs clean
+  const JobResult res = svc.wait(svc.submit(std::move(spec)));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_TRUE(res.recovered) << "the job must have healed through a retry";
+  EXPECT_EQ(res.attempts, 2);
+  expect_identical(base, res.result, "healed result diverged from fault-free");
+
+  const auto metrics = svc.metrics();
+  EXPECT_GE(metrics.retries, 1u);
+  EXPECT_GE(metrics.recoveries, 1u);
+  expect_no_zombie_children();
+}
+
+TEST(DistService, ArmedKillBypassesTheResultCacheBothWays) {
+  const Graph g = planted_arboricity(150, 3, 11);
+  ServiceConfig config;
+  config.workers = 1;
+  config.default_shards = 2;
+  config.retry.max_attempts = 2;
+  config.retry.backoff_base_ms = 0.0;
+  ColoringService svc(config);
+  // Populate the cache with a clean distributed run...
+  JobSpec warm = dist_spec(svc, g, 2, Backend::kLoopback);
+  ASSERT_TRUE(svc.wait(svc.submit(std::move(warm))).ok);
+  // ...then an armed-kill job with the identical key must RUN (and fault,
+  // and heal), not answer from the cache.
+  JobSpec chaos = dist_spec(svc, g, 2, Backend::kLoopback);
+  chaos.dist.kill_at_sweep = 3;
+  const JobResult res = svc.wait(svc.submit(std::move(chaos)));
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_FALSE(res.cache_hit);
+  EXPECT_TRUE(res.recovered);
+}
+
+TEST(DistService, NegativeDistWorkersAreRejectedAtSubmit) {
+  const Graph g = cycle_graph(32);
+  ServiceConfig config;
+  config.workers = 1;
+  ColoringService svc(config);
+  JobSpec spec;
+  spec.graph = svc.intern(Graph(g));
+  spec.arboricity_bound = 2;
+  spec.dist.workers = -1;
+  EXPECT_THROW((void)svc.submit(std::move(spec)), precondition_error);
+}
+
+}  // namespace
+}  // namespace dvc
